@@ -1,0 +1,36 @@
+// Ablation A2 — CFL number robustness.
+// MM1 shock tube swept over CFL: accuracy, atmosphere fallbacks, and the
+// stability boundary (SSP-RK3 + HLL is stable up to CFL ~ 1 in 1D; pushed
+// past it the run goes non-finite or floors zones).
+//
+// Expected shape: error nearly flat for CFL <= 0.8 (spatial error
+// dominates), then breakdown — floored zones and/or non-finite fields —
+// past the stability limit.
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 200;
+  const problems::ShockTube st = problems::marti_muller_1();
+
+  Table table({"cfl", "L1_rho", "steps", "floored", "finite"});
+  table.set_title("A2: CFL robustness ablation (MM1, N=200, PLM+HLL)");
+
+  for (const double cfl : {0.2, 0.4, 0.6, 0.8, 1.0, 1.3}) {
+    auto s = bench::make_tube_solver(st, kN, recon::Method::kPLMMC,
+                                     riemann::Solver::kHLL, cfl);
+    const int steps = s->advance_to(st.t_final);
+    const auto rho = s->gather_prim_var(srhd::kRho);
+    bool finite = true;
+    for (const double r : rho) finite = finite && std::isfinite(r);
+    const double err =
+        finite ? bench::tube_errors(*s, st).l1_rho
+               : std::numeric_limits<double>::quiet_NaN();
+    table.add_row({cfl, err, static_cast<long long>(steps),
+                   s->c2p_stats().floored_zones,
+                   std::string(finite ? "yes" : "NO")});
+  }
+  bench::emit(table, "a2_cfl_robustness");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment F6 — communication/computation overlap (figure).
+// Part A (shared memory): dataflow vs bulk-sync time/step as the block
+// count grows at fixed problem size — more blocks means more pipelining
+// opportunity for dataflow and more barrier overhead for bulk-sync.
+// Part B (message passing): distributed stepping under injected
+// per-message latency; cost per step grows with latency since the rank
+// loop cannot hide synchronous halo waits (the motivating gap that
+// futurized runtimes close).
+//
+// Expected shape: A — dataflow's advantage grows with block count
+// (muted on this 1-core host); B — time/step grows roughly linearly with
+// injected latency at fixed message count.
+
+#include "rshc/parallel/thread_pool.hpp"
+#include "rshc/solver/distributed.hpp"
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 96;
+  constexpr int kSteps = 6;
+
+  // --- Part A: block-count sweep --------------------------------------
+  Table a({"blocks", "bulk_sec_per_step", "dataflow_sec_per_step",
+           "dataflow_speedup"});
+  a.set_title("F6a: overlap vs block count (96^2, 2 workers)");
+  for (const int nb : {1, 2, 4, 6}) {
+    const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+    solver::SrhdSolver::Options opt;
+    opt.recon = recon::Method::kPLMMC;
+    opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+    opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+    opt.blocks = {nb, nb, 1};
+    const double dt = 0.1 / static_cast<double>(kN);
+    parallel::ThreadPool pool(2);
+
+    auto run = [&](bool dataflow) {
+      solver::SrhdSolver s(grid, opt);
+      s.initialize(problems::kelvin_helmholtz_ic({}));
+      s.step_parallel(dt, pool, dataflow);  // warm-up
+      WallTimer t;
+      if (dataflow) {
+        s.run_steps_dataflow(kSteps, dt, pool);
+      } else {
+        s.run_steps_bulksync(kSteps, dt, pool);
+      }
+      return t.seconds() / kSteps;
+    };
+    const double bulk = run(false);
+    const double flow = run(true);
+    a.add_row({static_cast<long long>(nb * nb), bulk, flow, bulk / flow});
+  }
+  bench::emit(a, "f6a_overlap_blocks");
+
+  // --- Part B: injected message latency --------------------------------
+  Table b({"latency_us", "sec_per_step", "messages_per_step",
+           "latency_share"});
+  b.set_title("F6b: distributed step cost vs injected per-message latency "
+              "(4 ranks, 96^2)");
+  for (const double latency_us : {0.0, 50.0, 200.0, 500.0}) {
+    const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+    solver::DistributedSrhdSolver::Options opt;
+    opt.recon = recon::Method::kPLMMC;
+    opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+    opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+    const double dt = 0.1 / static_cast<double>(kN);
+
+    comm::TransferModel model;
+    model.latency_sec = latency_us * 1e-6;
+    comm::World world(4, model);
+    WallTimer t;
+    {
+      std::vector<std::jthread> threads;
+      for (int r = 0; r < 4; ++r) {
+        threads.emplace_back([&world, &grid, &opt, dt, r] {
+          auto c = world.communicator(r);
+          solver::DistributedSrhdSolver s(grid, c, opt);
+          s.initialize(problems::kelvin_helmholtz_ic({}));
+          for (int i = 0; i < kSteps; ++i) s.step(dt);
+        });
+      }
+    }
+    const double per_step = t.seconds() / kSteps;
+    const double msgs_per_step =
+        static_cast<double>(world.total_messages()) / kSteps;
+    // Latency a rank actually waits on per step: one message per recv in
+    // its own critical path (2 axes x 2 sides x 3 stages).
+    const double critical_waits = 12.0;
+    b.add_row({latency_us, per_step, msgs_per_step,
+               critical_waits * latency_us * 1e-6 / per_step});
+  }
+  bench::emit(b, "f6b_overlap_latency");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment F7 — GLM divergence cleaning (figure).
+// Field-loop advection on a periodic box: the discretized loop edge seeds
+// div B noise every step; with GLM the error is advected away at c_h and
+// damped, without it the error accumulates.
+//
+// Expected shape: max|div B| with cleaning settles well below the
+// uncleaned curve (a widening gap over time), while the physical fields
+// remain essentially identical at this weak magnetization.
+
+#include "rshc/solver/diagnostics.hpp"
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 64;
+  constexpr int kSteps = 120;
+  constexpr int kSample = 10;
+
+  Table table({"step", "t", "divb_glm_on", "divb_glm_off", "psi_l2",
+               "ratio_off_over_on"});
+  table.set_title("F7: max|div B| with and without GLM cleaning "
+                  "(field loop, 64^2)");
+
+  auto make = [&](bool glm) {
+    const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+    solver::SrmhdSolver::Options opt;
+    opt.recon = recon::Method::kPLMMC;
+    opt.cfl = 0.3;
+    opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+    opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+    opt.physics.glm.enabled = glm;
+    auto s = std::make_unique<solver::SrmhdSolver>(grid, opt);
+    s->initialize(problems::field_loop_ic({}));
+    return s;
+  };
+  auto on = make(true);
+  auto off = make(false);
+
+  for (int step = 0; step <= kSteps; ++step) {
+    if (step % kSample == 0) {
+      const double d_on = solver::max_divb(*on);
+      const double d_off = solver::max_divb(*off);
+      table.add_row({static_cast<long long>(step), on->time(), d_on, d_off,
+                     solver::psi_l2(*on),
+                     d_on > 0.0 ? d_off / d_on : 0.0});
+    }
+    const double dt = std::min(on->compute_dt(), off->compute_dt());
+    on->step(dt);
+    off->step(dt);
+  }
+  bench::emit(table, "f7_glm_divb");
+  return 0;
+}

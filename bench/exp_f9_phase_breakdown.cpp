@@ -1,0 +1,63 @@
+// Experiment F9 — per-phase cost breakdown (figure/table).
+// Where does a step's wall time go? Exchange (halos + BCs), RHS
+// (reconstruction + Riemann + flux differencing), update (RK + con2prim),
+// and bookkeeping — per reconstruction scheme and per physics system.
+//
+// Expected shape: RHS dominates everywhere and grows with reconstruction
+// order (WENO5 >> PCM); SRMHD pays more in both RHS (9 variables, GLM)
+// and update (1D-W con2prim); exchange stays a few percent at this
+// surface-to-volume ratio.
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 96;
+  constexpr int kSteps = 10;
+
+  Table table({"system", "recon", "exchange_pct", "rhs_pct", "update_pct",
+               "other_pct", "sec_per_step"});
+  table.set_title("F9: per-phase wall-time breakdown (96^2, 10 steps)");
+
+  auto add_row = [&](const std::string& system, const std::string& rname,
+                     const auto& phases) {
+    const double total = phases.total();
+    table.add_row({system, rname, 100.0 * phases.exchange / total,
+                   100.0 * phases.rhs / total,
+                   100.0 * phases.update / total,
+                   100.0 * phases.other / total, total / kSteps});
+  };
+
+  for (const auto rm : {recon::Method::kPCM, recon::Method::kPLMMC,
+                        recon::Method::kWENO5}) {
+    const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+    solver::SrhdSolver::Options opt;
+    opt.recon = rm;
+    opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+    opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+    solver::SrhdSolver s(grid, opt);
+    s.initialize(problems::kelvin_helmholtz_ic({}));
+    s.step(s.compute_dt());  // warm-up outside the measurement
+    s.reset_phase_times();
+    for (int i = 0; i < kSteps; ++i) s.step(s.compute_dt());
+    add_row("srhd", std::string(recon::method_name(rm)), s.phase_times());
+  }
+
+  {
+    const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+    solver::SrmhdSolver::Options opt;
+    opt.recon = recon::Method::kPLMMC;
+    opt.cfl = 0.3;
+    opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+    opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+    solver::SrmhdSolver s(grid, opt);
+    s.initialize(problems::field_loop_ic({}));
+    s.step(s.compute_dt());
+    s.reset_phase_times();
+    for (int i = 0; i < kSteps; ++i) s.step(s.compute_dt());
+    add_row("srmhd", "plm-mc", s.phase_times());
+  }
+
+  bench::emit(table, "f9_phase_breakdown");
+  return 0;
+}

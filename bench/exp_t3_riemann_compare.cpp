@@ -1,0 +1,51 @@
+// Experiment T3 — Riemann-solver comparison: accuracy vs cost.
+// Full MM1 run per solver (accuracy + wall time) plus an isolated
+// per-interface kernel timing.
+//
+// Expected shape: HLLC is the most accurate at nearly the same per-call
+// cost as HLL; LLF is cheapest per call but most diffusive.
+
+#include "exp_common.hpp"
+
+namespace {
+
+double time_kernel(rshc::riemann::Solver s, int reps) {
+  using namespace rshc;
+  const eos::IdealGas eos(5.0 / 3.0);
+  const srhd::Prim wl{1.0, 0.2, 0.1, 0.0, 1.0};
+  const srhd::Prim wr{0.5, -0.3, 0.0, 0.0, 0.2};
+  volatile double sink = 0.0;
+  WallTimer t;
+  for (int i = 0; i < reps; ++i) {
+    const auto f = riemann::solve_srhd(s, wl, wr, 0, eos);
+    sink = sink + f.d;
+  }
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 400;
+  constexpr int kKernelReps = 100000;
+  const problems::ShockTube st = problems::marti_muller_1();
+
+  Table table({"riemann", "L1_rho", "L1_vx", "run_seconds", "ns_per_flux"});
+  table.set_title("T3: Riemann solver accuracy vs cost (MM1, N=400, PLM)");
+
+  for (const auto rs : {riemann::Solver::kLLF, riemann::Solver::kHLL,
+                        riemann::Solver::kHLLC,
+                        riemann::Solver::kExact}) {
+    auto s = bench::make_tube_solver(st, kN, recon::Method::kPLMMC, rs);
+    WallTimer t;
+    s->advance_to(st.t_final);
+    const double seconds = t.seconds();
+    const auto err = bench::tube_errors(*s, st);
+    table.add_row({std::string(riemann::solver_name(rs)), err.l1_rho,
+                   err.l1_vx, seconds,
+                   time_kernel(rs, kKernelReps) * 1e9});
+  }
+  bench::emit(table, "t3_riemann_compare");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment T4 — conservative-to-primitive robustness and cost.
+// Sweeps Lorentz factor W and pressure-to-density ratio over many decades
+// for SRHD and for SRMHD at magnetization sigma ~ 1; reports mean/max
+// Newton iterations and the failure (atmosphere-fallback) count.
+//
+// Expected shape: iteration counts grow slowly with W and stay bounded
+// (< ~40) everywhere; zero failures across the physical sweep, including
+// W = 50 and p/rho from 1e-8 to 1e8.
+
+#include "exp_common.hpp"
+#include "rshc/srmhd/con2prim.hpp"
+
+int main() {
+  using namespace rshc;
+  const eos::IdealGas eos_h(5.0 / 3.0);
+  const std::vector<double> lorentz = {1.01, 2.0, 5.0, 10.0, 20.0, 50.0};
+  const std::vector<double> p_over_rho = {1e-8, 1e-4, 1e-2, 1.0,
+                                          1e2,  1e4,  1e8};
+
+  Table table({"system", "W", "mean_iters", "max_iters", "failures",
+               "worst_rel_err"});
+  table.set_title("T4: con2prim robustness across (W, p/rho) sweep");
+
+  for (const bool mhd : {false, true}) {
+    for (const double W : lorentz) {
+      const double v = std::sqrt(1.0 - 1.0 / (W * W));
+      long long total_iters = 0;
+      long long max_iters = 0;
+      long long failures = 0;
+      long long cases = 0;
+      double worst_err = 0.0;
+      for (const double pr : p_over_rho) {
+        // Several velocity orientations per (W, p/rho).
+        for (const auto& dir :
+             {std::array<double, 3>{1, 0, 0}, std::array<double, 3>{0.6, 0.8, 0},
+              std::array<double, 3>{0.57735, 0.57735, 0.57735}}) {
+          ++cases;
+          if (!mhd) {
+            srhd::Prim w;
+            w.rho = 1.0;
+            w.vx = v * dir[0];
+            w.vy = v * dir[1];
+            w.vz = v * dir[2];
+            w.p = pr;
+            const auto r = srhd::cons_to_prim(
+                srhd::prim_to_cons(w, eos_h), eos_h);
+            total_iters += r.iterations;
+            max_iters = std::max<long long>(max_iters, r.iterations);
+            failures += r.floored ? 1 : 0;
+            if (!r.floored) {
+              worst_err = std::max(worst_err,
+                                   std::abs(r.prim.rho - w.rho) / w.rho);
+            }
+          } else {
+            srmhd::Prim w;
+            w.rho = 1.0;
+            w.vx = v * dir[0];
+            w.vy = v * dir[1];
+            w.vz = v * dir[2];
+            w.p = pr;
+            // sigma ~ 1 field oblique to the flow.
+            w.bx = 0.6;
+            w.by = -0.7;
+            w.bz = 0.2;
+            const auto r = srmhd::cons_to_prim(
+                srmhd::prim_to_cons(w, eos_h), eos_h);
+            total_iters += r.iterations;
+            max_iters = std::max<long long>(max_iters, r.iterations);
+            failures += r.floored ? 1 : 0;
+            if (!r.floored) {
+              worst_err = std::max(worst_err,
+                                   std::abs(r.prim.rho - w.rho) / w.rho);
+            }
+          }
+        }
+      }
+      table.add_row({std::string(mhd ? "srmhd" : "srhd"), W,
+                     static_cast<double>(total_iters) /
+                         static_cast<double>(cases),
+                     max_iters, failures, worst_err});
+    }
+  }
+  bench::emit(table, "t4_con2prim");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment T5 — distributed halo exchange: correctness and cost.
+// Rank sweep on a fixed 2D problem: time/step, messages and bytes moved,
+// plus the L1 distance of the gathered solution from the serial reference
+// (must be exactly zero — the numerics are rank-count invariant).
+//
+// Expected shape: message count grows linearly with ranks, bytes per rank
+// shrink (surface-to-volume), and correctness holds at every rank count.
+
+#include "rshc/solver/distributed.hpp"
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace rshc;
+  constexpr long long kN = 96;
+  constexpr int kSteps = 6;
+  const std::vector<int> rank_counts = {1, 2, 4, 8};
+
+  const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
+  solver::DistributedSrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+  const double dt = 0.1 / static_cast<double>(kN);
+  const auto ic = problems::kelvin_helmholtz_ic({});
+
+  // Serial reference.
+  solver::SrhdSolver ref(grid, static_cast<solver::SrhdSolver::Options>(opt));
+  ref.initialize(ic);
+  for (int i = 0; i < kSteps; ++i) ref.step(dt);
+  const auto rho_ref = ref.gather_prim_var(srhd::kRho);
+
+  Table table({"ranks", "topology", "sec_per_step", "messages", "kbytes",
+               "L1_vs_serial"});
+  table.set_title("T5: distributed stepping, 96^2, 6 fixed-dt steps");
+
+  for (const int nr : rank_counts) {
+    comm::World world(nr);
+    std::vector<double> rho;
+    std::string topo;
+    WallTimer t;
+    {
+      std::vector<std::jthread> threads;
+      for (int r = 0; r < nr; ++r) {
+        threads.emplace_back([&, r] {
+          auto c = world.communicator(r);
+          solver::DistributedSrhdSolver s(grid, c, opt);
+          s.initialize(ic);
+          for (int i = 0; i < kSteps; ++i) s.step(dt);
+          auto gathered = s.gather_prim_var_root(srhd::kRho);
+          if (r == 0) {
+            rho = std::move(gathered);
+            topo = std::to_string(s.topology().dims()[0]) + "x" +
+                   std::to_string(s.topology().dims()[1]);
+          }
+        });
+      }
+    }
+    const double per_step = t.seconds() / kSteps;
+    table.add_row({static_cast<long long>(nr), topo, per_step,
+                   static_cast<long long>(world.total_messages()),
+                   static_cast<double>(world.total_bytes()) / 1024.0,
+                   analysis::l1_error(rho, rho_ref)});
+  }
+  bench::emit(table, "t5_distributed");
+  return 0;
+}

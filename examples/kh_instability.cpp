@@ -1,0 +1,102 @@
+// Kelvin-Helmholtz instability in 2D special relativistic hydrodynamics.
+//
+//   ./examples/kh_instability [N=128] [t_end=3.0] [vtk=0] [blocks=2]
+//
+// Evolves a perturbed shear layer on a periodic box, tracks the growth of
+// the transverse kinetic signature, fits an exponential growth rate, and
+// (optionally) writes VTK snapshots for ParaView. This is the workload
+// behind experiment F2.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "rshc/analysis/norms.hpp"
+#include "rshc/common/config.hpp"
+#include "rshc/io/vtk.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+namespace {
+
+/// RMS of transverse velocity — the KH growth diagnostic.
+double vy_rms(rshc::solver::SrhdSolver& s) {
+  const auto vy = s.gather_prim_var(rshc::srhd::kVy);
+  double sum = 0.0;
+  for (const double v : vy) sum += v * v;
+  return std::sqrt(sum / static_cast<double>(vy.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rshc;
+  const Config cfg = Config::from_args(argc, argv);
+  const long long n = cfg.get_int("N", 128);
+  const double t_end = cfg.get_double("t_end", 3.0);
+  const bool write_vtk = cfg.get_bool("vtk", false);
+  const int blocks = static_cast<int>(cfg.get_int("blocks", 2));
+
+  const mesh::Grid grid =
+      mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.4;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+  opt.blocks = {blocks, blocks, 1};
+
+  const problems::KelvinHelmholtz kh{};
+  solver::SrhdSolver s(grid, opt);
+  s.initialize(problems::kelvin_helmholtz_ic(kh));
+
+  std::printf("# KH %lldx%lld, shear v=%.2f, layer a=%.3f, t_end=%.2f\n", n,
+              n, kh.shear_velocity, kh.layer_width, t_end);
+  std::printf("%-8s %-14s\n", "t", "vy_rms");
+
+  std::vector<double> times;
+  std::vector<double> amplitudes;
+  int snapshot = 0;
+  double next_sample = 0.0;
+  while (s.time() < t_end) {
+    if (s.time() >= next_sample) {
+      const double a = vy_rms(s);
+      std::printf("%-8.3f %-14.6e\n", s.time(), a);
+      times.push_back(s.time());
+      amplitudes.push_back(a);
+      next_sample += t_end / 30.0;
+      if (write_vtk) {
+        std::vector<io::VtkField> fields(2);
+        fields[0] = {"rho", s.gather_prim_var(srhd::kRho)};
+        fields[1] = {"vy", s.gather_prim_var(srhd::kVy)};
+        io::write_vtk("kh_" + std::to_string(snapshot++) + ".vtk", grid,
+                      fields);
+      }
+    }
+    double dt = s.compute_dt();
+    if (s.time() + dt > t_end) dt = t_end - s.time();
+    s.step(dt);
+  }
+
+  // Fit the exponential phase (skip the initial transient, stop before
+  // saturation: use the window where amplitude is 3x initial .. 1/3 max).
+  std::vector<double> tf;
+  std::vector<double> af;
+  const double a0 = amplitudes.front();
+  const double amax = *std::max_element(amplitudes.begin(), amplitudes.end());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (amplitudes[i] > 2.0 * a0 && amplitudes[i] < 0.5 * amax) {
+      tf.push_back(times[i]);
+      af.push_back(amplitudes[i]);
+    }
+  }
+  if (tf.size() >= 2) {
+    std::printf("\n# linear-phase growth rate: %.4f (e-folds per unit time)\n",
+                analysis::growth_rate(tf, af));
+  } else {
+    std::printf("\n# growth window too short to fit (try larger t_end)\n");
+  }
+  std::printf("# c2p health: %lld floored zones\n",
+              s.c2p_stats().floored_zones);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: solve a relativistic shock tube (Marti & Mueller problem 1)
+// and compare against the exact Riemann solution.
+//
+//   ./examples/quickstart [N=400] [recon=weno5] [riemann=hllc] [cfl=0.4]
+//
+// This is the smallest complete tour of the public API: build a grid,
+// configure an SRHD solver, set initial data from the problem library,
+// advance to t_final, and measure the L1 error with the analysis tools.
+
+#include <cstdio>
+
+#include "rshc/analysis/exact_riemann.hpp"
+#include "rshc/analysis/norms.hpp"
+#include "rshc/common/config.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rshc;
+
+  const Config cfg = Config::from_args(argc, argv);
+  const long long n = cfg.get_int("N", 400);
+  const auto recon = recon::parse_method(cfg.get_string("recon", "weno5"));
+  const auto riem = riemann::parse_solver(cfg.get_string("riemann", "hllc"));
+  const double cfl = cfg.get_double("cfl", 0.4);
+
+  // Problem setup: MM1 on [0, 1], membrane at x = 0.5.
+  const problems::ShockTube st = problems::marti_muller_1();
+  const mesh::Grid grid = mesh::Grid::make_1d(n, 0.0, 1.0);
+
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon;
+  opt.cfl = cfl;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kOutflow);
+  opt.physics.eos = eos::IdealGas(st.gamma);
+  opt.physics.riemann = riem;
+
+  solver::SrhdSolver solver(grid, opt);
+  solver.initialize(problems::shock_tube_ic(st));
+  const int steps = solver.advance_to(st.t_final);
+
+  // Exact reference sampled at cell centers.
+  const analysis::ExactRiemann exact(
+      {st.left.rho, st.left.vx, st.left.p},
+      {st.right.rho, st.right.vx, st.right.p}, st.gamma);
+  std::vector<double> rho_exact(static_cast<std::size_t>(n));
+  std::vector<double> v_exact(static_cast<std::size_t>(n));
+  for (long long i = 0; i < n; ++i) {
+    const double x = grid.cell_center(0, i);
+    const auto s = exact.sample((x - st.x_split) / st.t_final);
+    rho_exact[static_cast<std::size_t>(i)] = s.rho;
+    v_exact[static_cast<std::size_t>(i)] = s.v;
+  }
+  const auto rho_num = solver.gather_prim_var(srhd::kRho);
+  const auto v_num = solver.gather_prim_var(srhd::kVx);
+
+  std::printf("# %s: N=%lld recon=%s riemann=%s steps=%d t=%.3f\n",
+              st.name.c_str(), n, std::string(recon::method_name(recon)).c_str(),
+              std::string(riemann::solver_name(riem)).c_str(), steps,
+              solver.time());
+  std::printf("# exact: p*=%.6f v*=%.6f\n", exact.p_star(), exact.v_star());
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "x", "rho", "rho_exact",
+              "vx", "vx_exact");
+  const long long stride = n / 20 > 0 ? n / 20 : 1;
+  for (long long i = stride / 2; i < n; i += stride) {
+    std::printf("%-10.4f %-12.6f %-12.6f %-12.6f %-12.6f\n",
+                grid.cell_center(0, i), rho_num[static_cast<std::size_t>(i)],
+                rho_exact[static_cast<std::size_t>(i)],
+                v_num[static_cast<std::size_t>(i)],
+                v_exact[static_cast<std::size_t>(i)]);
+  }
+  std::printf("\nL1(rho) = %.6e   L1(vx) = %.6e\n",
+              analysis::l1_error(rho_num, rho_exact),
+              analysis::l1_error(v_num, v_exact));
+  std::printf("c2p: %lld floored zones, %lld total Newton iterations\n",
+              solver.c2p_stats().floored_zones,
+              solver.c2p_stats().total_iterations);
+  return 0;
+}

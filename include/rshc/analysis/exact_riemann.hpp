@@ -1,0 +1,67 @@
+#pragma once
+// Exact solver for the special relativistic Riemann problem with an ideal
+// gas EOS and purely normal flow (v_t = 0), following Marti & Mueller
+// (Living Reviews in Relativity, 2003). Used as ground truth for the
+// shock-tube validation experiments (T1, F1) and the HLLC accuracy table.
+//
+// The star pressure p* solves v*_L(p) = v*_R(p), where each side's
+// post-wave velocity comes from
+//  - a shock (Taub adiabat + relativistic Rankine-Hugoniot) if p > p_side,
+//  - a rarefaction (relativistic Riemann invariant
+//      atanh(v) +- G(c_s),  G(c) = 2/sqrt(g-1) atanh(c/sqrt(g-1)))
+//    if p < p_side.
+// sample(xi) returns the self-similar solution at xi = x/t.
+
+namespace rshc::analysis {
+
+class ExactRiemann {
+ public:
+  struct State {
+    double rho = 0.0;
+    double v = 0.0;  ///< normal velocity
+    double p = 0.0;
+  };
+
+  /// Wave pattern classification, per side.
+  enum class Wave { kShock, kRarefaction };
+
+  ExactRiemann(State left, State right, double gamma);
+
+  [[nodiscard]] double p_star() const { return p_star_; }
+  [[nodiscard]] double v_star() const { return v_star_; }
+  [[nodiscard]] Wave left_wave() const { return left_wave_; }
+  [[nodiscard]] Wave right_wave() const { return right_wave_; }
+
+  /// Self-similar solution at xi = (x - x_membrane) / t.
+  [[nodiscard]] State sample(double xi) const;
+
+ private:
+  struct WaveResult {
+    double v = 0.0;          ///< flow speed behind the wave
+    double rho = 0.0;        ///< density behind the wave
+    double speed_head = 0.0; ///< fastest wave edge (shock speed or head)
+    double speed_tail = 0.0; ///< slowest edge (== head for shocks)
+  };
+
+  [[nodiscard]] WaveResult shock(const State& a, double p, int sign) const;
+  [[nodiscard]] WaveResult rarefaction(const State& a, double p,
+                                       int sign) const;
+  [[nodiscard]] WaveResult wave(const State& a, double p, int sign) const;
+  [[nodiscard]] State sample_rarefaction_fan(const State& a, double xi,
+                                             int sign) const;
+
+  [[nodiscard]] double sound_speed(double rho, double p) const;
+  [[nodiscard]] double invariant_g(double cs) const;
+
+  State left_;
+  State right_;
+  double gamma_;
+  double p_star_ = 0.0;
+  double v_star_ = 0.0;
+  Wave left_wave_ = Wave::kShock;
+  Wave right_wave_ = Wave::kShock;
+  WaveResult lw_{};
+  WaveResult rw_{};
+};
+
+}  // namespace rshc::analysis

@@ -1,0 +1,32 @@
+#pragma once
+// Error norms, convergence orders, and time-series fits used by the
+// experiment harnesses.
+
+#include <span>
+#include <vector>
+
+namespace rshc::analysis {
+
+/// Mean absolute difference (discrete L1 norm of the error).
+[[nodiscard]] double l1_error(std::span<const double> a,
+                              std::span<const double> b);
+/// Root-mean-square difference.
+[[nodiscard]] double l2_error(std::span<const double> a,
+                              std::span<const double> b);
+/// Max absolute difference.
+[[nodiscard]] double linf_error(std::span<const double> a,
+                                std::span<const double> b);
+
+/// Observed order p = log(e_coarse / e_fine) / log(refinement_ratio).
+[[nodiscard]] double convergence_order(double err_coarse, double err_fine,
+                                       double ratio = 2.0);
+
+/// Least-squares slope of y over x (e.g. log-amplitude growth rate).
+[[nodiscard]] double linear_fit_slope(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// Exponential growth rate: slope of ln(y) over x; y must be positive.
+[[nodiscard]] double growth_rate(std::span<const double> t,
+                                 std::span<const double> amplitude);
+
+}  // namespace rshc::analysis

@@ -1,0 +1,41 @@
+#pragma once
+// Cartesian process topology (MPI_Cart_create analogue): factorizes the
+// world size into a near-cubic grid, maps rank <-> coordinates, and answers
+// neighbour queries with optional periodic wraparound.
+
+#include <array>
+#include <optional>
+
+namespace rshc::comm {
+
+class CartTopology {
+ public:
+  /// Build an `ndim`-dimensional topology for `size` ranks. `requested`
+  /// entries > 0 are honoured (their product must divide `size`); entries
+  /// == 0 are filled greedily toward a balanced decomposition.
+  CartTopology(int size, int ndim, std::array<int, 3> requested = {0, 0, 0},
+               std::array<bool, 3> periodic = {true, true, true});
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int ndim() const { return ndim_; }
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+  [[nodiscard]] bool periodic(int axis) const {
+    return periodic_[static_cast<std::size_t>(axis)];
+  }
+
+  [[nodiscard]] std::array<int, 3> coords(int rank) const;
+  [[nodiscard]] int rank_of(const std::array<int, 3>& coords) const;
+
+  /// Neighbour of `rank` displaced by `disp` (±1 typical) along `axis`;
+  /// nullopt when the displacement runs off a non-periodic edge.
+  [[nodiscard]] std::optional<int> neighbor(int rank, int axis,
+                                            int disp) const;
+
+ private:
+  int size_;
+  int ndim_;
+  std::array<int, 3> dims_;
+  std::array<bool, 3> periodic_;
+};
+
+}  // namespace rshc::comm

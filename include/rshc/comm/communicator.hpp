@@ -1,0 +1,161 @@
+#pragma once
+// MPI-style message passing between "ranks" that live in one process
+// (DESIGN.md substitution for a real interconnect). Each rank is a thread
+// with a mailbox; send() copies the payload into the destination mailbox and
+// recv() blocks until a matching (source, tag) message arrives. A transfer
+// model (latency + bandwidth) can be injected so overlap experiments (F6)
+// see realistic message costs: a message only becomes *receivable* after its
+// modeled flight time has elapsed.
+//
+// The subset implemented mirrors the dozen-routine core of MPI that the LLNL
+// tutorial calls out: send/recv, sendrecv, barrier, allreduce, bcast, gather.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::comm {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Modeled network cost per message; zero-initialized = instantaneous.
+struct TransferModel {
+  double latency_sec = 0.0;        ///< per-message latency
+  double bandwidth_bytes_per_sec = 0.0;  ///< 0 => infinite
+
+  [[nodiscard]] std::chrono::steady_clock::duration flight_time(
+      std::size_t bytes) const;
+};
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+class World;
+
+/// Per-rank handle; cheap to copy within the owning rank's thread.
+class Communicator {
+ public:
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // --- point to point ------------------------------------------------
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+  /// Blocking receive into `out`; message size must match exactly.
+  /// Returns the actual source (useful with kAnySource).
+  int recv_bytes(int source, int tag, std::span<std::byte> out);
+  /// Blocking receive of unknown size.
+  std::vector<std::byte> recv_any_bytes(int source, int tag,
+                                        int* actual_source = nullptr);
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::span<const T>(&v, 1));
+  }
+  template <typename T>
+  int recv(int source, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes(source, tag, std::as_writable_bytes(out));
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    T v{};
+    recv(source, tag, std::span<T>(&v, 1));
+    return v;
+  }
+
+  /// Exchange: send to `dest` and receive from `src` with the same tag.
+  /// Sends first (sends never block), so symmetric exchanges cannot deadlock.
+  template <typename T>
+  void sendrecv(int dest, std::span<const T> sendbuf, int src,
+                std::span<T> recvbuf, int tag) {
+    send(dest, tag, sendbuf);
+    recv(src, tag, recvbuf);
+  }
+
+  // --- collectives ----------------------------------------------------
+  void barrier();
+  double allreduce(double value, ReduceOp op);
+  void allreduce(std::span<double> values, ReduceOp op);
+  /// Root's `data` is broadcast into every rank's `data`.
+  void bcast(std::span<double> data, int root);
+  /// Gathers each rank's scalar to root (returned vector is empty elsewhere).
+  std::vector<double> gather(double value, int root);
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Owns the mailboxes and collective state for `size` ranks.
+class World {
+ public:
+  explicit World(int size, TransferModel model = {});
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Communicator communicator(int rank) {
+    RSHC_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+    return Communicator(*this, rank);
+  }
+
+  /// Diagnostics for the distributed experiments.
+  [[nodiscard]] std::size_t total_messages() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::byte> payload;
+    std::chrono::steady_clock::time_point ready_at;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void deliver(int dest, Message msg);
+  Message take_matching(int me, int source, int tag);
+
+  int size_;
+  TransferModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Collective state (monitor-style, generation-counted for reuse).
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  long long coll_generation_ = 0;
+  int coll_count_ = 0;
+  std::vector<double> coll_buffer_;
+  std::vector<double> coll_result_;
+
+  std::atomic<std::size_t> msg_count_{0};
+  std::atomic<std::size_t> byte_count_{0};
+};
+
+/// Spawn `size` rank threads each running `body(comm)`; joins all and
+/// rethrows the first exception raised by any rank.
+void run_world(int size, const std::function<void(Communicator&)>& body,
+               TransferModel model = {});
+
+}  // namespace rshc::comm

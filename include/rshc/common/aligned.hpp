@@ -1,0 +1,54 @@
+#pragma once
+// Cache-line / SIMD-width aligned storage for SoA field arrays.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace rshc {
+
+inline constexpr std::size_t kAlignment = 64;  // cache line & AVX-512 width
+
+/// Minimal aligned allocator (Core Guidelines R.10: no naked malloc/free in
+/// user code — containment here is the single sanctioned wrapper).
+template <typename T, std::size_t Align = kAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Explicit rebind: the default one cannot see through the non-type
+  // alignment parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+/// Vector whose data() is 64-byte aligned — the storage type for all field
+/// arrays so vectorized kernels can assume alignment.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace rshc

@@ -1,0 +1,41 @@
+#pragma once
+// Tiny key=value configuration store. Examples and bench harnesses accept
+// overrides on the command line ("N=512 cfl=0.4 recon=weno5") and look them
+// up with typed accessors + defaults.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rshc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; tokens without '=' raise rshc::Error.
+  static Config from_args(int argc, const char* const* argv);
+  static Config from_tokens(const std::vector<std::string>& tokens);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys in insertion-independent (sorted) order, for echoing the run setup.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rshc

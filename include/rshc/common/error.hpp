@@ -1,0 +1,55 @@
+#pragma once
+// Error handling policy (see DESIGN.md):
+//  - RSHC_REQUIRE: recoverable precondition / runtime failure -> rshc::Error
+//    with file:line context. Used at API boundaries, config parsing, I/O.
+//  - RSHC_ASSERT: internal invariant, compiled out in NDEBUG builds. Never
+//    used in per-zone hot loops; kernels report failure through status codes.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rshc {
+
+/// Exception carrying a formatted location-tagged message.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string_view what, std::string_view file, int line)
+      : std::runtime_error(format(what, file, line)) {}
+
+ private:
+  static std::string format(std::string_view what, std::string_view file,
+                            int line) {
+    std::string s;
+    s.reserve(what.size() + file.size() + 16);
+    s.append(file).append(":").append(std::to_string(line)).append(": ");
+    s.append(what);
+    return s;
+  }
+};
+
+[[noreturn]] inline void throw_error(std::string_view what,
+                                     std::string_view file, int line) {
+  throw Error(what, file, line);
+}
+
+}  // namespace rshc
+
+#define RSHC_REQUIRE(cond, msg)                          \
+  do {                                                   \
+    if (!(cond)) [[unlikely]] {                          \
+      ::rshc::throw_error((msg), __FILE__, __LINE__);    \
+    }                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define RSHC_ASSERT(cond) ((void)0)
+#else
+#define RSHC_ASSERT(cond)                                             \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::rshc::throw_error("assertion failed: " #cond, __FILE__,       \
+                          __LINE__);                                  \
+    }                                                                 \
+  } while (false)
+#endif

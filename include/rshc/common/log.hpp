@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Thread-safe (single global mutex); intended for
+// progress / diagnostic messages, never for per-zone output.
+
+#include <sstream>
+#include <string_view>
+
+namespace rshc::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emit one line at `level` (adds timestamp + level tag).
+void write(Level level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  detail::emit(Level::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  detail::emit(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  detail::emit(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(Args&&... args) {
+  detail::emit(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace rshc::log

@@ -1,0 +1,48 @@
+#pragma once
+// Column-oriented result table: accumulates typed rows, pretty-prints to a
+// stream in the fixed-width style of a paper table, and dumps CSV for
+// downstream plotting. Used by every bench/exp_* harness.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rshc {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Title printed above the table (e.g. "T1: shock-tube validation").
+  void set_title(std::string title);
+
+  /// Append one row; must have exactly as many cells as columns.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return columns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  /// Raw cell access (row-major), mainly for tests.
+  [[nodiscard]] const Cell& cell(std::size_t row, std::size_t col) const;
+
+  /// Fixed-width human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting of commas needed for our content).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  static std::string render(const Cell& c);
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace rshc

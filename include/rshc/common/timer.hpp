@@ -1,0 +1,42 @@
+#pragma once
+// Wall-clock timing helpers used by the benchmark harnesses.
+
+#include <chrono>
+
+namespace rshc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start()/stop() pairs.
+class AccumTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  [[nodiscard]] double seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace rshc

@@ -1,0 +1,67 @@
+#pragma once
+// Execution devices (DESIGN.md system #4). Three backends:
+//   kHostScalar — kernels run inline on the calling thread (baseline).
+//   kHostSimd   — kernels run inline but callers select the vectorized
+//                 kernel variants (see srhd/kernels_simd.*).
+//   kAccelSim   — simulated accelerator: a dedicated stream worker executes
+//                 kernels in submission order, and all data movement goes
+//                 through upload/download with a modeled PCIe-like cost
+//                 (latency + bandwidth), exercising the same staging and
+//                 overlap logic a real GPU offload needs.
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "rshc/device/buffer.hpp"
+#include "rshc/device/event.hpp"
+
+namespace rshc::device {
+
+enum class Backend { kHostScalar, kHostSimd, kAccelSim };
+
+[[nodiscard]] std::string_view backend_name(Backend b);
+
+/// Accelerator transfer cost model; defaults approximate a PCIe 3.0 x16 link.
+struct AccelModel {
+  double transfer_latency_sec = 10e-6;
+  double transfer_bandwidth_bytes_per_sec = 12.0e9;
+  /// Per-kernel launch overhead, the accelerator's analogue of a CUDA
+  /// launch (drives the batch-size crossover in experiment F8).
+  double launch_overhead_sec = 8e-6;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] virtual Backend backend() const = 0;
+  [[nodiscard]] std::string_view name() const {
+    return backend_name(backend());
+  }
+  /// True when host code must stage data via upload/download.
+  [[nodiscard]] virtual bool requires_staging() const = 0;
+
+  [[nodiscard]] virtual Buffer alloc(std::size_t n) = 0;
+
+  /// Asynchronous host->device copy (ordered w.r.t. other stream work).
+  virtual Event upload_async(std::span<const double> host, Buffer& dst) = 0;
+  /// Asynchronous device->host copy.
+  virtual Event download_async(const Buffer& src, std::span<double> host) = 0;
+  /// Enqueue a kernel; it may touch device_view() of this device's buffers.
+  /// `work_items` feeds the launch-overhead model (0 = untimed).
+  virtual Event launch(std::function<void()> kernel,
+                       std::size_t work_items = 0) = 0;
+  /// Block until all submitted work has completed.
+  virtual void synchronize() = 0;
+
+ protected:
+  Device() = default;
+};
+
+/// Factory. The accelerator backend accepts a cost model.
+std::unique_ptr<Device> make_device(Backend backend, AccelModel model = {});
+
+}  // namespace rshc::device

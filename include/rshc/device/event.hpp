@@ -1,0 +1,44 @@
+#pragma once
+// CUDA-event-like completion handle shared between a stream worker (the
+// producer) and host code (the consumer).
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace rshc::device {
+
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Mark complete and wake waiters (called by the stream worker).
+  void set() const {
+    {
+      std::scoped_lock lock(state_->mutex);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  /// Block until set().
+  void wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  [[nodiscard]] bool query() const {
+    std::scoped_lock lock(state_->mutex);
+    return state_->done;
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rshc::device

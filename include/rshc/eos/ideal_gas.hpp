@@ -1,0 +1,56 @@
+#pragma once
+// Ideal gamma-law equation of state, the closure used throughout the HRSC
+// solver: p = (Gamma - 1) rho eps. Units c = 1.
+
+#include <cmath>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::eos {
+
+class IdealGas {
+ public:
+  /// Gamma must lie in (1, 2]; relativistic kinetic theory bounds the
+  /// adiabatic index by 2 (stiff causal limit) and 4/3 (ultrarelativistic).
+  explicit IdealGas(double gamma) : gamma_(gamma) {
+    RSHC_REQUIRE(gamma > 1.0 && gamma <= 2.0,
+                 "adiabatic index must be in (1, 2]");
+  }
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+  /// p(rho, eps) with eps the specific internal energy.
+  [[nodiscard]] double pressure(double rho, double eps) const {
+    return (gamma_ - 1.0) * rho * eps;
+  }
+
+  /// eps(rho, p).
+  [[nodiscard]] double specific_internal_energy(double rho, double p) const {
+    return p / ((gamma_ - 1.0) * rho);
+  }
+
+  /// Specific enthalpy h = 1 + eps + p/rho = 1 + Gamma/(Gamma-1) p/rho.
+  [[nodiscard]] double enthalpy(double rho, double p) const {
+    return 1.0 + gamma_ / (gamma_ - 1.0) * p / rho;
+  }
+
+  /// Relativistic sound speed squared cs^2 = Gamma p / (rho h).
+  [[nodiscard]] double sound_speed_sq(double rho, double p) const {
+    return gamma_ * p / (rho * enthalpy(rho, p));
+  }
+
+  [[nodiscard]] double sound_speed(double rho, double p) const {
+    return std::sqrt(sound_speed_sq(rho, p));
+  }
+
+  /// Polytropic pressure at entropy constant kappa: p = kappa rho^Gamma.
+  /// (Used to set up smooth isentropic initial data for convergence tests.)
+  [[nodiscard]] double polytropic_pressure(double rho, double kappa) const {
+    return kappa * std::pow(rho, gamma_);
+  }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace rshc::eos

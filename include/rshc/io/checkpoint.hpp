@@ -1,0 +1,34 @@
+#pragma once
+// Binary checkpoint / restart for FvSolver states: a small header (magic,
+// version, grid shape, variable counts, time) followed by each block's
+// conservative interior. Restart recovers primitives through con2prim, so
+// a checkpoint round-trip is also an end-to-end c2p consistency test.
+
+#include <string>
+
+#include "rshc/solver/fv_solver.hpp"
+
+namespace rshc::io {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x52534843;  // "RSHC"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename Physics>
+void write_checkpoint(const std::string& path,
+                      const solver::FvSolver<Physics>& s);
+
+/// Restore state into a solver constructed with the SAME grid, options and
+/// block layout; throws rshc::Error on any mismatch.
+template <typename Physics>
+void read_checkpoint(const std::string& path, solver::FvSolver<Physics>& s);
+
+extern template void write_checkpoint<solver::SrhdPhysics>(
+    const std::string&, const solver::FvSolver<solver::SrhdPhysics>&);
+extern template void write_checkpoint<solver::SrmhdPhysics>(
+    const std::string&, const solver::FvSolver<solver::SrmhdPhysics>&);
+extern template void read_checkpoint<solver::SrhdPhysics>(
+    const std::string&, solver::FvSolver<solver::SrhdPhysics>&);
+extern template void read_checkpoint<solver::SrmhdPhysics>(
+    const std::string&, solver::FvSolver<solver::SrmhdPhysics>&);
+
+}  // namespace rshc::io

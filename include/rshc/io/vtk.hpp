@@ -1,0 +1,23 @@
+#pragma once
+// Legacy-VTK structured-points writer for visual inspection of 2D/3D runs
+// (loads directly in ParaView/VisIt). One scalar field per call or a
+// multi-field dataset from a gather.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rshc/mesh/grid.hpp"
+
+namespace rshc::io {
+
+struct VtkField {
+  std::string name;
+  std::vector<double> data;  ///< global row-major (k, j, i), interior only
+};
+
+/// Write `fields` over `grid` as legacy VTK STRUCTURED_POINTS (cell data).
+void write_vtk(const std::string& path, const mesh::Grid& grid,
+               std::span<const VtkField> fields);
+
+}  // namespace rshc::io

@@ -1,0 +1,93 @@
+#pragma once
+// One rectangular tile of the global grid, padded with `ng` ghost cells in
+// every active dimension. Blocks own their conservative (U) and primitive
+// (W) field arrays; ghost zones are filled by halo exchange / boundary
+// conditions on the *primitive* fields (reconstruction consumes primitives;
+// interior conservatives never need ghosts).
+
+#include <array>
+
+#include "rshc/mesh/field_array.hpp"
+#include "rshc/mesh/grid.hpp"
+
+namespace rshc::mesh {
+
+/// Global interior index range [lo, hi) owned by a block.
+struct BlockExtents {
+  std::array<long long, 3> lo = {0, 0, 0};
+  std::array<long long, 3> hi = {1, 1, 1};
+
+  [[nodiscard]] long long width(int axis) const {
+    return hi[static_cast<std::size_t>(axis)] -
+           lo[static_cast<std::size_t>(axis)];
+  }
+  [[nodiscard]] long long num_cells() const {
+    return width(0) * width(1) * width(2);
+  }
+};
+
+class Block {
+ public:
+  Block(const Grid& grid, BlockExtents extents, int ng, int nvar_cons,
+        int nvar_prim)
+      : grid_(&grid), ext_(extents), ng_(ng) {
+    for (int a = 0; a < 3; ++a) {
+      const bool active = a < grid.ndim();
+      interior_[static_cast<std::size_t>(a)] =
+          static_cast<int>(ext_.width(a));
+      total_[static_cast<std::size_t>(a)] =
+          interior_[static_cast<std::size_t>(a)] + (active ? 2 * ng : 0);
+      ghost_[static_cast<std::size_t>(a)] = active ? ng : 0;
+    }
+    cons_ = FieldArray(nvar_cons, total_[2], total_[1], total_[0]);
+    prim_ = FieldArray(nvar_prim, total_[2], total_[1], total_[0]);
+  }
+
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+  [[nodiscard]] const BlockExtents& extents() const { return ext_; }
+  [[nodiscard]] int ng() const { return ng_; }
+  [[nodiscard]] int ndim() const { return grid_->ndim(); }
+
+  /// Interior cell count along `axis` (no ghosts).
+  [[nodiscard]] int interior(int axis) const {
+    return interior_[static_cast<std::size_t>(axis)];
+  }
+  /// Total (ghosted) cell count along `axis`.
+  [[nodiscard]] int total(int axis) const {
+    return total_[static_cast<std::size_t>(axis)];
+  }
+  /// Ghost width along `axis` (0 for inactive dimensions).
+  [[nodiscard]] int ghost(int axis) const {
+    return ghost_[static_cast<std::size_t>(axis)];
+  }
+  /// First interior local index along `axis` (== ghost(axis)).
+  [[nodiscard]] int begin(int axis) const { return ghost(axis); }
+  /// One past the last interior local index.
+  [[nodiscard]] int end(int axis) const {
+    return ghost(axis) + interior(axis);
+  }
+
+  /// Physical center coordinate of *local* (ghost-offset) index along axis.
+  [[nodiscard]] double center(int axis, int local) const {
+    const long long global = ext_.lo[static_cast<std::size_t>(axis)] +
+                             (local - ghost(axis));
+    return grid_->cell_center(axis, global);
+  }
+
+  [[nodiscard]] FieldArray& cons() { return cons_; }
+  [[nodiscard]] const FieldArray& cons() const { return cons_; }
+  [[nodiscard]] FieldArray& prim() { return prim_; }
+  [[nodiscard]] const FieldArray& prim() const { return prim_; }
+
+ private:
+  const Grid* grid_;
+  BlockExtents ext_;
+  int ng_;
+  std::array<int, 3> interior_ = {1, 1, 1};
+  std::array<int, 3> total_ = {1, 1, 1};
+  std::array<int, 3> ghost_ = {0, 0, 0};
+  FieldArray cons_;
+  FieldArray prim_;
+};
+
+}  // namespace rshc::mesh

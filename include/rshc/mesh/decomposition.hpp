@@ -1,0 +1,45 @@
+#pragma once
+// Cartesian decomposition of a Grid into a (bx, by, bz) array of blocks,
+// with neighbour queries used by the halo-exchange machinery. Remainder
+// cells are spread over the leading blocks so any block count divides any
+// grid.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "rshc/mesh/block.hpp"
+#include "rshc/mesh/grid.hpp"
+
+namespace rshc::mesh {
+
+class Decomposition {
+ public:
+  Decomposition(const Grid& grid, std::array<int, 3> nblocks);
+
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+  [[nodiscard]] int num_blocks() const {
+    return nb_[0] * nb_[1] * nb_[2];
+  }
+  [[nodiscard]] int blocks(int axis) const {
+    return nb_[static_cast<std::size_t>(axis)];
+  }
+
+  [[nodiscard]] int block_id(std::array<int, 3> coords) const;
+  [[nodiscard]] std::array<int, 3> block_coords(int id) const;
+  [[nodiscard]] BlockExtents extents(int id) const;
+
+  /// Neighbouring block across face (`axis`, `side`): side=0 is the low
+  /// face, side=1 the high face. `periodic` wraps; otherwise nullopt at the
+  /// domain edge (a physical boundary).
+  [[nodiscard]] std::optional<int> neighbor(int id, int axis, int side,
+                                            bool periodic) const;
+
+ private:
+  const Grid* grid_;
+  std::array<int, 3> nb_;
+  // Per-axis split points (size nb[a]+1) in global cell indices.
+  std::array<std::vector<long long>, 3> splits_;
+};
+
+}  // namespace rshc::mesh

@@ -1,0 +1,83 @@
+#pragma once
+// SoA multi-variable field over one block (ghosts included): element
+// (v, k, j, i) lives at ((v*nk + k)*nj + j)*ni + i, so each variable is a
+// contiguous, 64-byte-aligned slab — the layout batched kernels and the
+// device staging path require.
+
+#include <cstddef>
+#include <span>
+
+#include "rshc/common/aligned.hpp"
+#include "rshc/common/error.hpp"
+
+namespace rshc::mesh {
+
+class FieldArray {
+ public:
+  FieldArray() = default;
+  FieldArray(int nvar, int nk, int nj, int ni)
+      : nvar_(nvar), nk_(nk), nj_(nj), ni_(ni),
+        data_(static_cast<std::size_t>(nvar) * static_cast<std::size_t>(nk) *
+                  static_cast<std::size_t>(nj) * static_cast<std::size_t>(ni),
+              0.0) {
+    RSHC_REQUIRE(nvar >= 1 && nk >= 1 && nj >= 1 && ni >= 1,
+                 "field array extents must be positive");
+  }
+
+  [[nodiscard]] int nvar() const { return nvar_; }
+  [[nodiscard]] int nk() const { return nk_; }
+  [[nodiscard]] int nj() const { return nj_; }
+  [[nodiscard]] int ni() const { return ni_; }
+  [[nodiscard]] std::size_t cells_per_var() const {
+    return static_cast<std::size_t>(nk_) * static_cast<std::size_t>(nj_) *
+           static_cast<std::size_t>(ni_);
+  }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& operator()(int v, int k, int j, int i) {
+    return data_[index(v, k, j, i)];
+  }
+  [[nodiscard]] double operator()(int v, int k, int j, int i) const {
+    return data_[index(v, k, j, i)];
+  }
+
+  /// Contiguous slab of one variable (length cells_per_var()).
+  [[nodiscard]] std::span<double> var(int v) {
+    return {data_.data() + static_cast<std::size_t>(v) * cells_per_var(),
+            cells_per_var()};
+  }
+  [[nodiscard]] std::span<const double> var(int v) const {
+    return {data_.data() + static_cast<std::size_t>(v) * cells_per_var(),
+            cells_per_var()};
+  }
+
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+  void fill(double value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Linear cell index (k, j, i) within one variable slab.
+  [[nodiscard]] std::size_t cell_index(int k, int j, int i) const {
+    return (static_cast<std::size_t>(k) * static_cast<std::size_t>(nj_) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(ni_) +
+           static_cast<std::size_t>(i);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int v, int k, int j, int i) const {
+    RSHC_ASSERT(v >= 0 && v < nvar_ && k >= 0 && k < nk_ && j >= 0 &&
+                j < nj_ && i >= 0 && i < ni_);
+    return static_cast<std::size_t>(v) * cells_per_var() + cell_index(k, j, i);
+  }
+
+  int nvar_ = 0;
+  int nk_ = 0;
+  int nj_ = 0;
+  int ni_ = 0;
+  rshc::aligned_vector<double> data_;
+};
+
+}  // namespace rshc::mesh

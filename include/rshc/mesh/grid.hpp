@@ -1,0 +1,74 @@
+#pragma once
+// Global structured grid descriptor: uniform Cartesian, 1/2/3 dimensional.
+// Index convention everywhere: axis 0 = x (fastest-varying in memory),
+// axis 1 = y, axis 2 = z.
+
+#include <array>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::mesh {
+
+class Grid {
+ public:
+  Grid(int ndim, std::array<long long, 3> n, std::array<double, 3> xmin,
+       std::array<double, 3> xmax)
+      : ndim_(ndim), n_(n), xmin_(xmin), xmax_(xmax) {
+    RSHC_REQUIRE(ndim >= 1 && ndim <= 3, "grid must be 1..3 dimensional");
+    for (int a = 0; a < 3; ++a) {
+      if (a >= ndim) {
+        n_[static_cast<std::size_t>(a)] = 1;
+        continue;
+      }
+      RSHC_REQUIRE(n_[static_cast<std::size_t>(a)] >= 1,
+                   "grid extent must be positive");
+      RSHC_REQUIRE(xmax[static_cast<std::size_t>(a)] >
+                       xmin[static_cast<std::size_t>(a)],
+                   "grid domain must have positive length");
+    }
+  }
+
+  /// Convenience 1D / 2D constructors.
+  static Grid make_1d(long long nx, double xmin, double xmax) {
+    return Grid(1, {nx, 1, 1}, {xmin, 0.0, 0.0}, {xmax, 1.0, 1.0});
+  }
+  static Grid make_2d(long long nx, long long ny, double xmin, double xmax,
+                      double ymin, double ymax) {
+    return Grid(2, {nx, ny, 1}, {xmin, ymin, 0.0}, {xmax, ymax, 1.0});
+  }
+
+  [[nodiscard]] int ndim() const { return ndim_; }
+  [[nodiscard]] long long extent(int axis) const {
+    return n_[static_cast<std::size_t>(axis)];
+  }
+  [[nodiscard]] long long num_cells() const {
+    return n_[0] * n_[1] * n_[2];
+  }
+  [[nodiscard]] double xmin(int axis) const {
+    return xmin_[static_cast<std::size_t>(axis)];
+  }
+  [[nodiscard]] double xmax(int axis) const {
+    return xmax_[static_cast<std::size_t>(axis)];
+  }
+  [[nodiscard]] double dx(int axis) const {
+    return (xmax(axis) - xmin(axis)) /
+           static_cast<double>(extent(axis));
+  }
+  [[nodiscard]] double min_dx() const {
+    double d = dx(0);
+    for (int a = 1; a < ndim_; ++a) d = d < dx(a) ? d : dx(a);
+    return d;
+  }
+  /// Center coordinate of global cell index i along `axis`.
+  [[nodiscard]] double cell_center(int axis, long long i) const {
+    return xmin(axis) + (static_cast<double>(i) + 0.5) * dx(axis);
+  }
+
+ private:
+  int ndim_;
+  std::array<long long, 3> n_;
+  std::array<double, 3> xmin_;
+  std::array<double, 3> xmax_;
+};
+
+}  // namespace rshc::mesh

@@ -1,0 +1,42 @@
+#pragma once
+// Ghost-zone filling for the primitive fields.
+//
+// Only face halos are exchanged (no corners): reconstruction stencils are
+// axis-aligned pencils, so corner ghosts are never read. This keeps the
+// exchanges of different axes independent — exactly what the futurized
+// dataflow stepping exploits. Transverse ranges are therefore restricted
+// to the interior.
+//
+// Two paths share the same pack/unpack layout:
+//   copy_halo    — direct shared-memory copy between sibling blocks
+//   pack_face /
+//   unpack_ghost — staging through a contiguous buffer for the
+//                  message-passing (distributed) driver.
+
+#include <span>
+
+#include "rshc/mesh/block.hpp"
+
+namespace rshc::mesh {
+
+/// Number of doubles in one face halo message of `b` across `axis`
+/// (all prim variables × ng layers × interior transverse extent).
+[[nodiscard]] std::size_t halo_buffer_size(const Block& b, int axis);
+
+/// Pack the ng interior layers of `src` adjacent to its (axis, side) face
+/// (side 0 = low, 1 = high) into `buf` (size halo_buffer_size).
+void pack_face(const Block& src, int axis, int side, std::span<double> buf);
+
+/// Unpack `buf` into the ghost layers of `dst` at its (axis, side) face.
+void unpack_ghost(Block& dst, int axis, int side,
+                  std::span<const double> buf);
+
+/// Fill dst's ghosts at face (axis, side) from the adjacent interior
+/// layers of `src` (the neighbour across that face). Blocks must agree on
+/// transverse extents.
+void copy_halo(Block& dst, const Block& src, int axis, int side);
+
+/// Single-block periodic wrap along `axis` (both faces).
+void apply_periodic(Block& b, int axis);
+
+}  // namespace rshc::mesh

@@ -1,0 +1,70 @@
+#pragma once
+// Dependency-driven task graph — the "futurized dataflow" execution model
+// (DESIGN.md substitution for the HPX runtime). Solvers build one node per
+// (block, stage) with edges from the neighbour blocks' previous stage, then
+// run() executes the whole step with no intra-step global barrier: a block
+// advances as soon as its own halo dependencies are met.
+//
+// A graph is built once and can be run() repeatedly (structure is immutable
+// after the first run; per-run scheduling state is reset internally).
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <future>
+#include <initializer_list>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace rshc::parallel {
+
+class ThreadPool;
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Add a node executing `fn` after every node in `deps` has completed.
+  /// Dependencies must already exist (ids are returned in creation order),
+  /// which makes cycles unrepresentable.
+  NodeId add(std::function<void()> fn, std::span<const NodeId> deps = {});
+
+  NodeId add(std::function<void()> fn, std::initializer_list<NodeId> deps) {
+    return add(std::move(fn), std::span<const NodeId>(deps.begin(), deps.size()));
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Execute all nodes on `pool`, blocking until the graph drains.
+  /// The first exception thrown by any node is rethrown here; downstream
+  /// nodes of a failed node still run (physics kernels report failure via
+  /// status fields, not exceptions, so this only matters for test hooks).
+  void run(ThreadPool& pool);
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<NodeId> dependents;
+    int num_deps = 0;
+    std::atomic<int> pending{0};
+  };
+
+  void finish_node(ThreadPool& pool, NodeId id);
+  void release_dependents(ThreadPool& pool, NodeId id);
+
+  // deque: stable addresses, no relocation (Node holds an atomic).
+  std::deque<Node> nodes_;
+
+  // Per-run state.
+  std::atomic<std::size_t> remaining_{0};
+  std::promise<void> done_;
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace rshc::parallel

@@ -1,0 +1,127 @@
+#pragma once
+// Initial-condition library: the standard relativistic HRSC test suite the
+// reconstructed evaluation runs on (see DESIGN.md experiment index).
+//
+// SRHD:
+//  - Marti & Mueller (2003) shock-tube problems 1 and 2 (mildly and highly
+//    relativistic blast waves), relativistic Sod.
+//  - Smooth density wave (uniform v, p): pure advection with an exact
+//    solution — the convergence-order workload (T2).
+//  - 2D cylindrical blast (F1-adjacent), Kelvin-Helmholtz shear layer (F2).
+// SRMHD:
+//  - Balsara (2001) relativistic Brio-Wu analogue shock tube.
+//  - 2D cylindrical magnetized blast, field-loop advection (F7).
+
+#include <functional>
+#include <string>
+
+#include "rshc/srhd/state.hpp"
+#include "rshc/srmhd/state.hpp"
+
+namespace rshc::problems {
+
+using SrhdIc = std::function<srhd::Prim(double, double, double)>;
+using SrmhdIc = std::function<srmhd::Prim(double, double, double)>;
+
+// --- SRHD shock tubes --------------------------------------------------
+
+struct ShockTube {
+  std::string name;
+  srhd::Prim left;
+  srhd::Prim right;
+  double x_split = 0.5;   ///< membrane position in [0, 1]
+  double t_final = 0.4;
+  double gamma = 5.0 / 3.0;
+};
+
+/// Marti & Mueller problem 1: (rho, v, p) = (10, 0, 13.33 | 1, 0, 1e-7),
+/// Gamma = 5/3 — mildly relativistic blast wave.
+[[nodiscard]] ShockTube marti_muller_1();
+/// Marti & Mueller problem 2: (1, 0, 1000 | 1, 0, 0.01), Gamma = 5/3 —
+/// strongly relativistic blast (W_max ~ 3.6, thin shell).
+[[nodiscard]] ShockTube marti_muller_2();
+/// Relativistic Sod: (1, 0, 1 | 0.125, 0, 0.1), Gamma = 1.4.
+[[nodiscard]] ShockTube sod();
+
+[[nodiscard]] SrhdIc shock_tube_ic(const ShockTube& st);
+
+// --- SRHD smooth / multi-D ----------------------------------------------
+
+struct SmoothWave {
+  double amplitude = 0.3;   ///< density contrast (must stay < 1)
+  double velocity = 0.5;    ///< uniform advection speed
+  double pressure = 1.0;
+  double rho0 = 1.0;
+};
+
+/// rho = rho0 + A sin(2 pi x), uniform v and p: advects unchanged, exact
+/// solution at time t is the profile shifted by v t (periodic domain [0,1]).
+[[nodiscard]] SrhdIc smooth_wave_ic(const SmoothWave& w);
+/// Exact density at (x, t) for the smooth wave.
+[[nodiscard]] double smooth_wave_exact_rho(const SmoothWave& w, double x,
+                                           double t);
+
+struct KelvinHelmholtz {
+  double shear_velocity = 0.25;  ///< +-v_x across the layer
+  double layer_width = 0.05;     ///< tanh profile scale
+  double perturb_amplitude = 0.01;
+  double density_contrast = 0.0;  ///< optional rho jump across layer
+  double pressure = 1.0;
+};
+
+/// Shear layer on y = 0 of the periodic domain [-0.5, 0.5]^2 with a
+/// single-mode v_y perturbation (growth measured in F2).
+[[nodiscard]] SrhdIc kelvin_helmholtz_ic(const KelvinHelmholtz& kh);
+
+struct Blast2d {
+  double r_inner = 0.1;
+  double p_inner = 10.0;
+  double p_outer = 0.01;
+  double rho = 1.0;
+};
+
+/// Cylindrical overpressure at the origin of [-1, 1]^2 (outflow BCs).
+[[nodiscard]] SrhdIc blast2d_ic(const Blast2d& b);
+
+// --- SRMHD --------------------------------------------------------------
+
+struct MhdShockTube {
+  std::string name;
+  srmhd::Prim left;
+  srmhd::Prim right;
+  double x_split = 0.5;
+  double t_final = 0.4;
+  double gamma = 2.0;
+};
+
+/// Balsara (2001) test 1 — the relativistic Brio & Wu analogue:
+/// (rho, p, By) = (1, 1, 1 | 0.125, 0.1, -1), Bx = 0.5, Gamma = 2.
+[[nodiscard]] MhdShockTube balsara_1();
+
+[[nodiscard]] SrmhdIc mhd_shock_tube_ic(const MhdShockTube& st);
+
+struct MhdBlast2d {
+  double r_inner = 0.1;
+  double p_inner = 1.0;
+  double p_outer = 0.01;
+  double rho = 1.0;
+  double bx = 0.1;
+};
+
+/// Magnetized cylindrical blast in a uniform horizontal field (F7).
+[[nodiscard]] SrmhdIc mhd_blast2d_ic(const MhdBlast2d& b);
+
+struct FieldLoop {
+  double radius = 0.3;
+  double field = 1e-3;       ///< loop field amplitude
+  double vx = 0.2;
+  double vy = 0.1;
+  double rho = 1.0;
+  double pressure = 3.0;
+};
+
+/// Weak magnetic field loop advected diagonally across the periodic
+/// domain [-0.5, 0.5]^2 (divergence-cleaning stress test).
+[[nodiscard]] SrmhdIc field_loop_ic(const FieldLoop& fl);
+
+}  // namespace rshc::problems

@@ -1,0 +1,37 @@
+#pragma once
+// Approximate Riemann solvers at zone interfaces (DESIGN.md system #9).
+// SRHD: LLF (baseline), HLL, and the HLLC contact-restoring solver of
+// Mignone & Bodo (2005). SRMHD: HLL with the exact upwind GLM coupling for
+// the (B_n, psi) subsystem.
+
+#include <string_view>
+
+#include "rshc/eos/ideal_gas.hpp"
+#include "rshc/srhd/state.hpp"
+#include "rshc/srmhd/glm.hpp"
+#include "rshc/srmhd/state.hpp"
+
+namespace rshc::riemann {
+
+// kExact samples the exact Riemann solution at the interface (Godunov's
+// original scheme): the most accurate and most expensive option. Transverse
+// velocities are advected passively from the upwind side of the contact —
+// exact for v_t = 0 states, an approximation otherwise.
+enum class Solver { kLLF, kHLL, kHLLC, kExact };
+
+[[nodiscard]] std::string_view solver_name(Solver s);
+[[nodiscard]] Solver parse_solver(std::string_view name);
+
+/// Numerical SRHD flux at the interface with left state `wl` / right `wr`
+/// (primitives; conservatives are derived internally) along `axis`.
+[[nodiscard]] srhd::Cons solve_srhd(Solver s, const srhd::Prim& wl,
+                                    const srhd::Prim& wr, int axis,
+                                    const eos::IdealGas& eos);
+
+/// Numerical SRMHD flux (HLL core + GLM interface coupling).
+[[nodiscard]] srmhd::Cons solve_srmhd_hll(const srmhd::Prim& wl,
+                                          const srmhd::Prim& wr, int axis,
+                                          const eos::IdealGas& eos,
+                                          const srmhd::GlmParams& glm);
+
+}  // namespace rshc::riemann

@@ -1,0 +1,20 @@
+#pragma once
+// Solver-level diagnostics: divergence of B for SRMHD runs (F7) and
+// conservation audits shared by tests and benches.
+
+#include "rshc/mesh/block.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+namespace rshc::solver {
+
+/// Max |div B| over the interior of `blk` using central differences on the
+/// primitive field (ghosts must be current; call fill_all_ghosts first).
+[[nodiscard]] double max_divb_block(const mesh::Block& blk);
+
+/// Max |div B| over all blocks of an SRMHD solver (refreshes ghosts).
+[[nodiscard]] double max_divb(SrmhdSolver& solver);
+
+/// L2 norm of psi over the interior (cleaning-activity diagnostic).
+[[nodiscard]] double psi_l2(const SrmhdSolver& solver);
+
+}  // namespace rshc::solver

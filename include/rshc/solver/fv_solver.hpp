@@ -1,0 +1,179 @@
+#pragma once
+// Generic block-structured finite-volume HRSC solver (method of lines):
+// reconstruct primitives along axis pencils, solve a Riemann problem at
+// every interface, accumulate flux differences, advance with an SSP
+// Runge-Kutta integrator, and recover primitives. Parametrized over a
+// Physics trait (SrhdPhysics / SrmhdPhysics).
+//
+// Execution modes:
+//  - step(dt)                     serial reference path
+//  - step_parallel(..., bulk)     block-parallel with a barrier per phase
+//  - step_parallel(..., dataflow) futurized dataflow: per-(block,stage)
+//    exchange and compute tasks linked only by true data dependencies, no
+//    global barrier inside a step
+//  - run_steps_dataflow(n, dt)    one task graph spanning n whole steps —
+//    no barrier *between* steps either (the heterogeneous-runtime payoff
+//    measured in F3/F6)
+//
+// Per-step dependency structure (E = exchange+BC, K = rhs+update+c2p):
+//   E(b,s) <- K(b,s-1), K(nbr,s-1)   (needs stage s-1 prims of b and nbrs)
+//   K(b,s) <- E(b,s), E(nbr,s)       (E(nbr,s) read b's prims: anti-dep)
+
+#include <array>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rshc/mesh/block.hpp"
+#include "rshc/mesh/boundary.hpp"
+#include "rshc/mesh/decomposition.hpp"
+#include "rshc/mesh/grid.hpp"
+#include "rshc/mesh/halo.hpp"
+#include "rshc/parallel/task_graph.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+#include "rshc/common/timer.hpp"
+#include "rshc/recon/reconstruct.hpp"
+#include "rshc/solver/physics.hpp"
+#include "rshc/time/integrator.hpp"
+
+namespace rshc::solver {
+
+template <typename Physics>
+class FvSolver {
+ public:
+  using Prim = typename Physics::Prim;
+  using Cons = typename Physics::Cons;
+  using Context = typename Physics::Context;
+
+  struct Options {
+    recon::Method recon = recon::Method::kPLMMC;
+    time::Integrator integrator = time::Integrator::kSspRk3;
+    double cfl = 0.4;
+    mesh::BoundarySpec bc{};
+    Context physics{};
+    std::array<int, 3> blocks = {1, 1, 1};
+  };
+
+  FvSolver(const mesh::Grid& grid, Options opt);
+
+  /// Restricted construction: own a *single* block covering `sub` of the
+  /// global grid (the distributed driver's per-rank view). A ghost filler
+  /// must be installed before stepping — the built-in shared-memory
+  /// exchange has no sibling blocks to copy from.
+  FvSolver(const mesh::Grid& grid, Options opt, mesh::BlockExtents sub);
+
+  ~FvSolver();  // out-of-line: Scratch is incomplete here
+
+  /// Set initial data: fn(x, y, z) -> Prim, evaluated at interior cell
+  /// centers; conservatives derived, ghosts filled.
+  void initialize(const std::function<Prim(double, double, double)>& fn);
+
+  /// CFL-limited time step from the current state.
+  [[nodiscard]] double compute_dt() const;
+
+  /// One time step (serial reference path).
+  void step(double dt);
+
+  /// One time step on `pool`; dataflow=false uses bulk-synchronous phases.
+  void step_parallel(double dt, parallel::ThreadPool& pool, bool dataflow);
+
+  /// `nsteps` fixed-dt steps as one dependency graph (no barriers at all).
+  void run_steps_dataflow(int nsteps, double dt, parallel::ThreadPool& pool);
+  /// Baseline for the same workload: barrier per phase, per stage, per step.
+  void run_steps_bulksync(int nsteps, double dt, parallel::ThreadPool& pool);
+
+  /// Advance to t_end with adaptive dt (serial); returns steps taken.
+  int advance_to(double t_end, int max_steps = 1000000);
+
+  // --- observation ----------------------------------------------------
+  [[nodiscard]] const mesh::Grid& grid() const { return grid_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] int num_blocks() const {
+    return static_cast<int>(blocks_.size());
+  }
+  [[nodiscard]] mesh::Block& block(int b) { return blocks_[b]; }
+  [[nodiscard]] const mesh::Block& block(int b) const { return blocks_[b]; }
+  [[nodiscard]] const C2PStats& c2p_stats() const { return stats_; }
+
+  /// Primitive state at a global interior cell (slow; analysis only).
+  [[nodiscard]] Prim prim_at(long long gi, long long gj = 0,
+                             long long gk = 0) const;
+  /// One primitive variable over the whole interior in global row-major
+  /// (k, j, i) order (analysis/norms only).
+  [[nodiscard]] std::vector<double> gather_prim_var(int v) const;
+  /// Volume-weighted sum of the conservatives (conservation audits).
+  [[nodiscard]] Cons total_cons() const;
+
+  /// Re-fill all ghost zones from current prims (diagnostics that need
+  /// up-to-date halos, e.g. div B).
+  void fill_all_ghosts();
+
+  /// Restart support: overwrite the clock and re-derive primitives from the
+  /// (externally restored) conservative fields, then refresh ghosts.
+  void set_time(double t) { time_ = t; }
+  void recover_all_prims();
+
+  /// Per-phase wall-time breakdown, accumulated on the *serial* stepping
+  /// path only (experiment F9). Parallel paths skip the timers to avoid
+  /// cross-thread races.
+  struct PhaseTimes {
+    double exchange = 0.0;  ///< halo copies + boundary conditions
+    double rhs = 0.0;       ///< reconstruction + Riemann + flux differencing
+    double update = 0.0;    ///< RK combination + con2prim
+    double other = 0.0;     ///< state save, psi damping, bookkeeping
+    [[nodiscard]] double total() const {
+      return exchange + rhs + update + other;
+    }
+  };
+  [[nodiscard]] const PhaseTimes& phase_times() const { return phases_; }
+  void reset_phase_times() { phases_ = {}; }
+
+  /// Replace the default shared-memory ghost fill for block `b` with a
+  /// custom routine — the hook the distributed (message-passing) driver
+  /// uses to splice halo exchange over a Communicator into the same
+  /// stepping machinery.
+  void set_ghost_filler(std::function<void(int)> filler) {
+    ghost_filler_ = std::move(filler);
+  }
+
+ private:
+  struct Scratch;  // per-block pencil work arrays
+
+  void exchange_block(int b);
+  void compute_rhs(int b);
+  void update_block(int b, time::StageCoeffs coeffs, double dt);
+  void save_state();
+  void post_step_all();
+  void stage_serial(int stage, double dt);
+  parallel::TaskGraph& step_graph(int nsteps);
+
+  mesh::Grid grid_;
+  Options opt_;
+  int ng_;
+  mesh::Decomposition decomp_;
+  std::vector<mesh::Block> blocks_;
+  std::vector<mesh::FieldArray> u0_;  // RK reference state
+  std::vector<mesh::FieldArray> du_;  // flux-difference accumulator
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::vector<C2PStats> block_stats_;
+  std::function<void(int)> ghost_filler_;
+  bool restricted_ = false;
+  C2PStats stats_;
+  double time_ = 0.0;
+  double current_dt_ = 0.0;
+  PhaseTimes phases_;
+
+  // Cached dataflow graphs keyed by step count.
+  std::unique_ptr<parallel::TaskGraph> graph_;
+  int graph_steps_ = 0;
+};
+
+using SrhdSolver = FvSolver<SrhdPhysics>;
+using SrmhdSolver = FvSolver<SrmhdPhysics>;
+
+extern template class FvSolver<SrhdPhysics>;
+extern template class FvSolver<SrmhdPhysics>;
+
+}  // namespace rshc::solver

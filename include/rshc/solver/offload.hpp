@@ -1,0 +1,29 @@
+#pragma once
+// Device-offload path: runs the conservative-to-primitive batch over a
+// block's interior on an execution Device, staging SoA slabs exactly the
+// way a GPU port would (gather interior -> upload -> kernel -> download ->
+// scatter). The same routine serves all three backends, which is what the
+// backend-equivalence tests rely on.
+
+#include "rshc/device/device.hpp"
+#include "rshc/mesh/block.hpp"
+#include "rshc/solver/physics.hpp"
+#include "rshc/srhd/kernels.hpp"
+
+namespace rshc::solver {
+
+struct OffloadStats {
+  double upload_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double download_seconds = 0.0;
+  srhd::kernels::BatchStats batch{};
+  std::size_t zones = 0;
+};
+
+/// Recover primitives from conservatives for the whole interior of `blk`
+/// on `dev`. Scalar backend uses the scalar kernel variant; SIMD and the
+/// simulated accelerator use the vectorized variant.
+OffloadStats offload_cons_to_prim(device::Device& dev, mesh::Block& blk,
+                                  const SrhdPhysics::Context& ctx);
+
+}  // namespace rshc::solver

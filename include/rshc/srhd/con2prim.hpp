@@ -1,0 +1,146 @@
+#pragma once
+// Conservative-to-primitive recovery for SRHD — the stiff nonlinear kernel
+// at the heart of every relativistic HRSC step (experiment T4). We solve a
+// 1D root problem in the pressure:
+//     f(p) = p_eos(rho(p), eps(p)) - p = 0
+// with  v^2(p) = S^2 / (E + p)^2,  E = tau + D,
+//       W = (1 - v^2)^{-1/2},  rho = D / W,  h = (E + p) / (D W),
+//       eps = h - 1 - p / rho.
+// Newton iteration with the standard analytic slope df/dp = v^2 cs^2 - 1,
+// guarded by a bisection bracket so pathological states still converge.
+// Failures are *reported*, never thrown; callers apply the atmosphere
+// policy (floors) and continue — matching production HRSC practice.
+//
+// Implementation is header-inline so the scalar/SIMD kernel TUs compile it
+// under their own flags (same rationale as state.hpp).
+
+#include <algorithm>
+#include <cmath>
+
+#include "rshc/srhd/state.hpp"
+
+namespace rshc::srhd {
+
+struct Con2PrimOptions {
+  double tolerance = 1e-12;   ///< relative tolerance on f(p)/max(p, floor)
+  int max_iterations = 60;
+  double rho_floor = 1e-14;   ///< atmosphere rest-mass density
+  double p_floor = 1e-16;     ///< atmosphere pressure
+};
+
+struct Con2PrimResult {
+  Prim prim;
+  int iterations = 0;
+  bool converged = false;
+  bool floored = false;  ///< atmosphere policy was applied
+};
+
+namespace detail {
+
+/// Residual f(p) plus the primitive state implied by p.
+struct C2PResidual {
+  double f = 0.0;
+  double df = -1.0;  // analytic approximate slope
+  Prim prim;
+  bool physical = false;
+};
+
+inline C2PResidual c2p_evaluate(const Cons& u, double p,
+                                const eos::IdealGas& eos) {
+  C2PResidual r;
+  const double E = u.tau + u.d;
+  const double Ep = E + p;
+  if (Ep <= 0.0) return r;
+  const double s2 = u.s_sq();
+  const double v2 = s2 / (Ep * Ep);
+  if (v2 >= 1.0) return r;
+  const double W = 1.0 / std::sqrt(1.0 - v2);
+  const double rho = u.d / W;
+  if (rho <= 0.0) return r;
+  const double h = Ep / (u.d * W);
+  const double eps = h - 1.0 - p / rho;
+  const double p_eos = eos.pressure(rho, eps);
+  const double cs2 = eos.gamma() * p_eos / (rho * h);
+  r.f = p_eos - p;
+  r.df = v2 * cs2 - 1.0;
+  r.prim = Prim{rho, u.sx / Ep, u.sy / Ep, u.sz / Ep, p};
+  r.physical = true;
+  return r;
+}
+
+}  // namespace detail
+
+/// Recover primitives from conservatives. Always returns a usable Prim:
+/// when the root solve fails or the state is unphysical, the atmosphere
+/// floor is applied and `floored` is set.
+[[nodiscard]] inline Con2PrimResult cons_to_prim(
+    const Cons& u, const eos::IdealGas& eos, const Con2PrimOptions& opt = {}) {
+  Con2PrimResult out;
+  const Prim atmo{opt.rho_floor, 0.0, 0.0, 0.0, opt.p_floor};
+
+  // Evacuated or invalid zones go straight to atmosphere.
+  if (!(u.d > opt.rho_floor) || !std::isfinite(u.d) ||
+      !std::isfinite(u.tau) || !std::isfinite(u.s_sq())) {
+    out.prim = atmo;
+    out.floored = true;
+    return out;
+  }
+
+  const double E = u.tau + u.d;
+  const double s_abs = std::sqrt(u.s_sq());
+
+  // Physicality requires E + p > |S| (subluminal velocity); start the
+  // bracket just above the causal minimum.
+  const double p_min =
+      std::max(opt.p_floor, s_abs - E + 1e-14 * std::max(1.0, std::abs(E)));
+  // Upper bound: generous multiple of the zero-velocity ideal-gas pressure.
+  const double p_max =
+      std::max(2.0 * p_min, 2.0 * (eos.gamma() - 1.0) * std::abs(E)) + 1.0;
+
+  if (!detail::c2p_evaluate(u, p_min, eos).physical) {
+    out.prim = atmo;
+    out.floored = true;
+    return out;
+  }
+
+  // Initial guess: zero-velocity ideal-gas estimate clipped into bracket.
+  double p = std::clamp((eos.gamma() - 1.0) * u.tau, p_min, p_max);
+  double lo = p_min;
+  double hi = p_max;
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    out.iterations = it + 1;
+    const detail::C2PResidual r = detail::c2p_evaluate(u, p, eos);
+    if (!r.physical) {
+      p = 0.5 * (lo + hi);
+      continue;
+    }
+    const double scale = std::max({std::abs(p), opt.p_floor, 1e-30});
+    if (std::abs(r.f) <= opt.tolerance * scale) {
+      out.prim = r.prim;
+      out.prim.rho = std::max(out.prim.rho, opt.rho_floor);
+      out.prim.p = std::max(out.prim.p, opt.p_floor);
+      out.converged = true;
+      return out;
+    }
+    // Maintain the bisection bracket: f decreases in p near the root
+    // (df < 0), so f > 0 means the root lies above p.
+    if (r.f > 0.0) {
+      lo = std::max(lo, p);
+    } else {
+      hi = std::min(hi, p);
+    }
+    double p_next = p - r.f / r.df;  // Newton
+    if (!(p_next > lo && p_next < hi) || !std::isfinite(p_next)) {
+      p_next = 0.5 * (lo + hi);  // bisection fallback
+    }
+    p = p_next;
+  }
+
+  out.prim = atmo;
+  out.floored = true;
+  out.converged = false;
+  return out;
+}
+
+}  // namespace rshc::srhd

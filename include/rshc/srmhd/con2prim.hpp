@@ -1,0 +1,35 @@
+#pragma once
+// SRMHD conservative-to-primitive recovery: 1D Newton solve on
+// z = rho h W^2 (the "1D_W" scheme of Mignone & McKinney 2007). With
+//   vB(z)  = (S.B)/z
+//   v^2(z) = [S^2 + (S.B)^2 (2z + B^2)/z^2] / (z + B^2)^2
+//   W(z)   = (1 - v^2)^{-1/2},  rho = D/W
+//   p(z)   = (Gamma-1)/Gamma * (z/W^2 - D/W)        (ideal gas)
+// the energy equation becomes the scalar residual
+//   f(z) = z - p(z) + B^2/2 (1 + v^2(z)) - (S.B)^2/(2 z^2) - (tau + D) = 0
+// solved by safeguarded Newton (numerical derivative) inside an expanding
+// bracket. Same failure policy as SRHD: report + atmosphere, never throw.
+
+#include "rshc/srmhd/state.hpp"
+
+namespace rshc::srmhd {
+
+struct Con2PrimOptions {
+  double tolerance = 1e-12;
+  int max_iterations = 80;
+  double rho_floor = 1e-14;
+  double p_floor = 1e-16;
+};
+
+struct Con2PrimResult {
+  Prim prim;
+  int iterations = 0;
+  bool converged = false;
+  bool floored = false;
+};
+
+[[nodiscard]] Con2PrimResult cons_to_prim(const Cons& u,
+                                          const eos::IdealGas& eos,
+                                          const Con2PrimOptions& opt = {});
+
+}  // namespace rshc::srmhd

@@ -1,0 +1,41 @@
+#pragma once
+// GLM (Dedner et al. 2002) hyperbolic divergence cleaning for SRMHD.
+// The (B_n, psi) subsystem decouples at each interface into two linear
+// waves at +-c_h; its exact upwind flux is
+//   B_n* = (B_nL + B_nR)/2 - (psiR - psiL) / (2 c_h)
+//   psi* = (psiL + psiR)/2 - c_h (B_nR - B_nL) / 2
+//   F(B_n) = psi*,  F(psi) = c_h^2 B_n*
+// and between steps psi is damped: psi <- psi * exp(-alpha c_h dt / dx).
+// In units c = 1 we take c_h = 1 (clean at the fastest causal speed).
+
+namespace rshc::srmhd {
+
+struct GlmParams {
+  bool enabled = true;
+  double ch = 1.0;      ///< cleaning wave speed (<= 1)
+  double alpha = 0.3;   ///< damping strength (Mignone & Tzeferacos 2010 range)
+};
+
+struct GlmInterfaceFlux {
+  double flux_bn = 0.0;   ///< contribution to F(B_n)
+  double flux_psi = 0.0;  ///< contribution to F(psi)
+};
+
+/// Exact upwind flux of the decoupled (B_n, psi) subsystem.
+[[nodiscard]] inline GlmInterfaceFlux glm_interface_flux(double bn_left,
+                                                         double psi_left,
+                                                         double bn_right,
+                                                         double psi_right,
+                                                         double ch) {
+  const double bn_star =
+      0.5 * (bn_left + bn_right) - 0.5 * (psi_right - psi_left) / ch;
+  const double psi_star =
+      0.5 * (psi_left + psi_right) - 0.5 * ch * (bn_right - bn_left);
+  return {psi_star, ch * ch * bn_star};
+}
+
+/// Damping factor applied to psi once per time step.
+[[nodiscard]] double glm_damping_factor(const GlmParams& glm, double dt,
+                                        double dx_min);
+
+}  // namespace rshc::srmhd

@@ -1,0 +1,108 @@
+#pragma once
+// Special relativistic magnetohydrodynamics (SRMHD) in the conservative
+// Del Zanna & Bucciantini formulation (units c = 1), extended with a GLM
+// (Dedner) divergence-cleaning scalar psi:
+//   D   = rho W
+//   S_i = (rho h W^2 + B^2) v_i - (v.B) B_i
+//   tau = rho h W^2 - p + B^2/2 + (v^2 B^2 - (v.B)^2)/2 - D
+//   B_i = lab-frame magnetic field
+//   psi = divergence-cleaning scalar (advects div B away and damps it)
+
+#include <cmath>
+
+#include "rshc/eos/ideal_gas.hpp"
+
+namespace rshc::srmhd {
+
+inline constexpr int kNumVars = 9;
+
+enum Var : int {
+  kD = 0, kSx = 1, kSy = 2, kSz = 3, kTau = 4,
+  kBx = 5, kBy = 6, kBz = 7, kPsi = 8,
+};
+enum PrimVar : int {
+  kRho = 0, kVx = 1, kVy = 2, kVz = 3, kP = 4,
+  // Prim reuses kBx..kPsi slots for B and psi (they are both prim & cons).
+};
+
+struct Prim {
+  double rho = 0.0;
+  double vx = 0.0, vy = 0.0, vz = 0.0;
+  double p = 0.0;
+  double bx = 0.0, by = 0.0, bz = 0.0;
+  double psi = 0.0;
+
+  [[nodiscard]] double v_sq() const { return vx * vx + vy * vy + vz * vz; }
+  [[nodiscard]] double b_sq_lab() const { return bx * bx + by * by + bz * bz; }
+  [[nodiscard]] double v_dot_b() const { return vx * bx + vy * by + vz * bz; }
+  [[nodiscard]] double lorentz() const { return 1.0 / std::sqrt(1.0 - v_sq()); }
+  [[nodiscard]] double v(int axis) const {
+    return axis == 0 ? vx : (axis == 1 ? vy : vz);
+  }
+  [[nodiscard]] double b(int axis) const {
+    return axis == 0 ? bx : (axis == 1 ? by : bz);
+  }
+  /// Comoving-frame field strength squared b^2 = B^2/W^2 + (v.B)^2.
+  [[nodiscard]] double b_sq_comoving() const {
+    return b_sq_lab() * (1.0 - v_sq()) + v_dot_b() * v_dot_b();
+  }
+};
+
+struct Cons {
+  double d = 0.0;
+  double sx = 0.0, sy = 0.0, sz = 0.0;
+  double tau = 0.0;
+  double bx = 0.0, by = 0.0, bz = 0.0;
+  double psi = 0.0;
+
+  [[nodiscard]] double s_sq() const { return sx * sx + sy * sy + sz * sz; }
+  [[nodiscard]] double b_sq() const { return bx * bx + by * by + bz * bz; }
+  [[nodiscard]] double s_dot_b() const { return sx * bx + sy * by + sz * bz; }
+  [[nodiscard]] double s(int axis) const {
+    return axis == 0 ? sx : (axis == 1 ? sy : sz);
+  }
+  [[nodiscard]] double b(int axis) const {
+    return axis == 0 ? bx : (axis == 1 ? by : bz);
+  }
+
+  Cons& operator+=(const Cons& o) {
+    d += o.d; sx += o.sx; sy += o.sy; sz += o.sz; tau += o.tau;
+    bx += o.bx; by += o.by; bz += o.bz; psi += o.psi;
+    return *this;
+  }
+  friend Cons operator*(double a, const Cons& c) {
+    return {a * c.d, a * c.sx, a * c.sy, a * c.sz, a * c.tau,
+            a * c.bx, a * c.by, a * c.bz, a * c.psi};
+  }
+  friend Cons operator+(Cons a, const Cons& b) { return a += b; }
+  friend Cons operator-(const Cons& a, const Cons& b) {
+    return {a.d - b.d,   a.sx - b.sx, a.sy - b.sy,
+            a.sz - b.sz, a.tau - b.tau, a.bx - b.bx,
+            a.by - b.by, a.bz - b.bz, a.psi - b.psi};
+  }
+};
+
+/// Exact prim -> cons map.
+[[nodiscard]] Cons prim_to_cons(const Prim& w, const eos::IdealGas& eos);
+
+/// Physical flux along `axis` (GLM terms excluded — the Riemann solver adds
+/// the upwinded psi/Bn coupling; see riemann/hll_srmhd).
+[[nodiscard]] Cons flux(const Prim& w, const Cons& u, int axis,
+                        const eos::IdealGas& eos);
+
+struct SignalSpeeds {
+  double lambda_minus = 0.0;
+  double lambda_plus = 0.0;
+};
+
+/// Fast-magnetosonic bound on the characteristic speeds along `axis`,
+/// using the standard a^2 = cs^2 + c_A^2 - cs^2 c_A^2 approximation
+/// (Gammie et al. 2003) inserted into the relativistic eigenvalue formula.
+[[nodiscard]] SignalSpeeds fast_speeds(const Prim& w, int axis,
+                                       const eos::IdealGas& eos);
+
+/// Max |lambda| over all axes for the CFL bound.
+[[nodiscard]] double max_signal_speed(const Prim& w, const eos::IdealGas& eos,
+                                      int ndim);
+
+}  // namespace rshc::srmhd

@@ -1,0 +1,57 @@
+#pragma once
+// Strong-stability-preserving Runge-Kutta integrators (Shu & Osher 1988)
+// in the convex-combination form used by the solvers:
+//   U_stage(s+1) = a_s * U0 + b_s * U_stage(s) + c_s * dt * L(U_stage(s))
+// with U_stage(0) = U0. SSP schemes keep the TVD property of the spatial
+// discretization, which is what makes them the standard choice for HRSC.
+
+#include <string_view>
+
+namespace rshc::time {
+
+enum class Integrator { kEuler, kSspRk2, kSspRk3 };
+
+struct StageCoeffs {
+  double a = 1.0;  ///< weight of U0
+  double b = 0.0;  ///< weight of the previous stage state
+  double c = 1.0;  ///< weight of dt * L(previous stage)
+};
+
+[[nodiscard]] constexpr int num_stages(Integrator m) {
+  switch (m) {
+    case Integrator::kEuler: return 1;
+    case Integrator::kSspRk2: return 2;
+    case Integrator::kSspRk3: return 3;
+  }
+  return 1;
+}
+
+[[nodiscard]] constexpr StageCoeffs stage_coeffs(Integrator m, int stage) {
+  switch (m) {
+    case Integrator::kEuler:
+      return {1.0, 0.0, 1.0};
+    case Integrator::kSspRk2:
+      return stage == 0 ? StageCoeffs{1.0, 0.0, 1.0}
+                        : StageCoeffs{0.5, 0.5, 0.5};
+    case Integrator::kSspRk3:
+      if (stage == 0) return {1.0, 0.0, 1.0};
+      if (stage == 1) return {0.75, 0.25, 0.25};
+      return {1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0};
+  }
+  return {1.0, 0.0, 1.0};
+}
+
+/// Formal temporal order (for convergence tables).
+[[nodiscard]] constexpr int formal_order(Integrator m) {
+  switch (m) {
+    case Integrator::kEuler: return 1;
+    case Integrator::kSspRk2: return 2;
+    case Integrator::kSspRk3: return 3;
+  }
+  return 1;
+}
+
+[[nodiscard]] std::string_view integrator_name(Integrator m);
+[[nodiscard]] Integrator parse_integrator(std::string_view name);
+
+}  // namespace rshc::time

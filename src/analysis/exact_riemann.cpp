@@ -1,0 +1,184 @@
+#include "rshc/analysis/exact_riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::analysis {
+namespace {
+
+double lorentz(double v) { return 1.0 / std::sqrt(1.0 - v * v); }
+
+double enthalpy(double rho, double p, double gamma) {
+  return 1.0 + gamma / (gamma - 1.0) * p / rho;
+}
+
+/// Characteristic speed lambda_s = (v + s c) / (1 + s v c), s = +-1.
+double characteristic(double v, double c, int sign) {
+  return (v + sign * c) / (1.0 + sign * v * c);
+}
+
+}  // namespace
+
+double ExactRiemann::sound_speed(double rho, double p) const {
+  return std::sqrt(gamma_ * p / (rho * enthalpy(rho, p, gamma_)));
+}
+
+double ExactRiemann::invariant_g(double cs) const {
+  const double sg = std::sqrt(gamma_ - 1.0);
+  return 2.0 / sg * std::atanh(cs / sg);
+}
+
+ExactRiemann::WaveResult ExactRiemann::shock(const State& a, double p,
+                                             int sign) const {
+  // Weak-shock limit: the Rankine-Hugoniot algebra degenerates (0/0) as
+  // p -> p_a; below a relative jump of ~1e-10 return the acoustic wave.
+  if (std::abs(p - a.p) <= 1e-10 * std::max(p, a.p)) {
+    WaveResult r;
+    r.v = a.v;
+    r.rho = a.rho;
+    const double c = sound_speed(a.rho, a.p);
+    r.speed_head = characteristic(a.v, c, sign);
+    r.speed_tail = r.speed_head;
+    return r;
+  }
+  const double ha = enthalpy(a.rho, a.p, gamma_);
+  const double Wa = lorentz(a.v);
+
+  // Taub adiabat combined with the gamma-law EOS: quadratic in h_b.
+  const double dp = a.p - p;  // negative for a shock (p > p_a)
+  const double A = 1.0 + (gamma_ - 1.0) * dp / (gamma_ * p);
+  const double B = -(gamma_ - 1.0) * dp / (gamma_ * p);
+  const double C = ha * dp / a.rho - ha * ha;
+  const double disc = std::max(0.0, B * B - 4.0 * A * C);
+  const double hb = (-B + std::sqrt(disc)) / (2.0 * A);
+  const double rho_b = gamma_ * p / ((gamma_ - 1.0) * (hb - 1.0));
+
+  // Mass flux through the shock (positive magnitude).
+  const double denom = ha / a.rho - hb / rho_b;
+  const double j_abs = std::sqrt(std::max(1e-300, (p - a.p) / denom));
+  const double j = sign * j_abs;
+
+  // Shock velocity (Marti & Mueller 2003).
+  const double da2 = a.rho * a.rho * Wa * Wa;
+  const double vs =
+      (da2 * a.v + sign * j_abs * std::sqrt(j * j + da2 * (1.0 - a.v * a.v))) /
+      (da2 + j * j);
+  const double Ws = lorentz(vs);
+
+  // Post-shock flow velocity.
+  const double num = ha * Wa * a.v + Ws * (p - a.p) / j;
+  const double den =
+      ha * Wa + (p - a.p) * (Ws * a.v / j + 1.0 / (a.rho * Wa));
+  WaveResult r;
+  r.v = num / den;
+  r.rho = rho_b;
+  r.speed_head = vs;
+  r.speed_tail = vs;
+  return r;
+}
+
+ExactRiemann::WaveResult ExactRiemann::rarefaction(const State& a, double p,
+                                                   int sign) const {
+  const double rho_b = a.rho * std::pow(p / a.p, 1.0 / gamma_);
+  const double ca = sound_speed(a.rho, a.p);
+  const double cb = sound_speed(rho_b, p);
+  // atanh(v) - sign*(G(c_a) - G(c_b)) = atanh(v_a) rearranged for v_b:
+  const double vb =
+      std::tanh(std::atanh(a.v) - sign * (invariant_g(ca) - invariant_g(cb)));
+  WaveResult r;
+  r.v = vb;
+  r.rho = rho_b;
+  r.speed_head = characteristic(a.v, ca, sign);
+  r.speed_tail = characteristic(vb, cb, sign);
+  return r;
+}
+
+ExactRiemann::WaveResult ExactRiemann::wave(const State& a, double p,
+                                            int sign) const {
+  return p > a.p ? shock(a, p, sign) : rarefaction(a, p, sign);
+}
+
+ExactRiemann::ExactRiemann(State left, State right, double gamma)
+    : left_(left), right_(right), gamma_(gamma) {
+  RSHC_REQUIRE(gamma > 1.0 && gamma <= 2.0, "gamma out of range");
+  RSHC_REQUIRE(left.rho > 0.0 && right.rho > 0.0 && left.p > 0.0 &&
+                   right.p > 0.0,
+               "exact Riemann solver needs positive rho and p");
+  RSHC_REQUIRE(std::abs(left.v) < 1.0 && std::abs(right.v) < 1.0,
+               "superluminal input state");
+
+  // f(p) = v*_L(p) - v*_R(p) is strictly decreasing; bisect.
+  auto f = [this](double p) {
+    return wave(left_, p, -1).v - wave(right_, p, +1).v;
+  };
+  double lo = 1e-14 * std::min(left_.p, right_.p);
+  double hi = 2.0 * std::max(left_.p, right_.p);
+  int guard = 0;
+  while (f(hi) > 0.0 && guard++ < 200) hi *= 2.0;
+  RSHC_REQUIRE(guard < 200, "exact Riemann solver failed to bracket p*");
+  // (f(lo) > 0 holds for any problem with a solution; vacuum-generating
+  // inputs would violate it and are rejected implicitly by the bracket.)
+  for (int it = 0; it < 200 && (hi - lo) > 1e-14 * hi; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  p_star_ = 0.5 * (lo + hi);
+  lw_ = wave(left_, p_star_, -1);
+  rw_ = wave(right_, p_star_, +1);
+  v_star_ = 0.5 * (lw_.v + rw_.v);
+  left_wave_ = p_star_ > left_.p ? Wave::kShock : Wave::kRarefaction;
+  right_wave_ = p_star_ > right_.p ? Wave::kShock : Wave::kRarefaction;
+}
+
+ExactRiemann::State ExactRiemann::sample_rarefaction_fan(const State& a,
+                                                         double xi,
+                                                         int sign) const {
+  // Inside the fan, the state on the characteristic with speed xi:
+  // bisect p between p* and p_a on lambda(p) = xi.
+  double lo = p_star_;
+  double hi = a.p;
+  for (int it = 0; it < 100 && (hi - lo) > 1e-13 * std::max(hi, 1e-300);
+       ++it) {
+    const double p = 0.5 * (lo + hi);
+    const WaveResult w = rarefaction(a, p, sign);
+    const double cb = sound_speed(w.rho, p);
+    const double lam = characteristic(w.v, cb, sign);
+    // For a left fan (sign=-1), lambda increases as p decreases.
+    const bool go_lower = sign < 0 ? (lam < xi) : (lam > xi);
+    if (go_lower) {
+      hi = p;
+    } else {
+      lo = p;
+    }
+  }
+  const double p = 0.5 * (lo + hi);
+  const WaveResult w = rarefaction(a, p, sign);
+  return State{w.rho, w.v, p};
+}
+
+ExactRiemann::State ExactRiemann::sample(double xi) const {
+  // Left of the left wave?
+  if (xi <= lw_.speed_head) return left_;
+  // Right of the right wave?
+  if (xi >= rw_.speed_head) return right_;
+
+  // Inside the left rarefaction fan?
+  if (left_wave_ == Wave::kRarefaction && xi < lw_.speed_tail) {
+    return sample_rarefaction_fan(left_, xi, -1);
+  }
+  // Inside the right rarefaction fan?
+  if (right_wave_ == Wave::kRarefaction && xi > rw_.speed_tail) {
+    return sample_rarefaction_fan(right_, xi, +1);
+  }
+  // Star region, split by the contact.
+  if (xi < v_star_) return State{lw_.rho, v_star_, p_star_};
+  return State{rw_.rho, v_star_, p_star_};
+}
+
+}  // namespace rshc::analysis

@@ -1,0 +1,72 @@
+#include "rshc/analysis/norms.hpp"
+
+#include <cmath>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::analysis {
+
+double l1_error(std::span<const double> a, std::span<const double> b) {
+  RSHC_REQUIRE(a.size() == b.size() && !a.empty(), "norm size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double l2_error(std::span<const double> a, std::span<const double> b) {
+  RSHC_REQUIRE(a.size() == b.size() && !a.empty(), "norm size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double linf_error(std::span<const double> a, std::span<const double> b) {
+  RSHC_REQUIRE(a.size() == b.size() && !a.empty(), "norm size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double convergence_order(double err_coarse, double err_fine, double ratio) {
+  RSHC_REQUIRE(err_coarse > 0.0 && err_fine > 0.0 && ratio > 1.0,
+               "convergence order needs positive errors and ratio > 1");
+  return std::log(err_coarse / err_fine) / std::log(ratio);
+}
+
+double linear_fit_slope(std::span<const double> x, std::span<const double> y) {
+  RSHC_REQUIRE(x.size() == y.size() && x.size() >= 2,
+               "linear fit needs >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  RSHC_REQUIRE(std::abs(denom) > 1e-300, "degenerate abscissae in fit");
+  return (n * sxy - sx * sy) / denom;
+}
+
+double growth_rate(std::span<const double> t,
+                   std::span<const double> amplitude) {
+  RSHC_REQUIRE(t.size() == amplitude.size() && t.size() >= 2,
+               "growth rate needs >= 2 samples");
+  std::vector<double> log_amp(amplitude.size());
+  for (std::size_t i = 0; i < amplitude.size(); ++i) {
+    RSHC_REQUIRE(amplitude[i] > 0.0, "growth rate needs positive amplitudes");
+    log_amp[i] = std::log(amplitude[i]);
+  }
+  return linear_fit_slope(t, log_amp);
+}
+
+}  // namespace rshc::analysis

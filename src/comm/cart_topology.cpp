@@ -1,0 +1,100 @@
+#include "rshc/comm/cart_topology.hpp"
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::comm {
+namespace {
+
+/// Greedy MPI_Dims_create-style balanced factorization of `n` into `ndim`
+/// factors, largest factors assigned to the emptiest slots.
+std::array<int, 3> balanced_dims(int n, int ndim, std::array<int, 3> req) {
+  std::array<int, 3> dims = {1, 1, 1};
+  int remaining = n;
+  for (int a = 0; a < ndim; ++a) {
+    if (req[static_cast<std::size_t>(a)] > 0) {
+      const int d = req[static_cast<std::size_t>(a)];
+      RSHC_REQUIRE(remaining % d == 0,
+                   "requested topology dims do not divide world size");
+      dims[static_cast<std::size_t>(a)] = d;
+      remaining /= d;
+    }
+  }
+  // Distribute prime factors of what is left, largest first, to the
+  // currently-smallest unconstrained axis.
+  auto smallest_free_axis = [&]() {
+    int best = -1;
+    for (int a = 0; a < ndim; ++a) {
+      if (req[static_cast<std::size_t>(a)] > 0) continue;
+      if (best < 0 || dims[static_cast<std::size_t>(a)] <
+                          dims[static_cast<std::size_t>(best)]) {
+        best = a;
+      }
+    }
+    return best;
+  };
+  for (int f = 2; remaining > 1;) {
+    if (remaining % f == 0) {
+      const int axis = smallest_free_axis();
+      RSHC_REQUIRE(axis >= 0,
+                   "all topology axes constrained but ranks remain");
+      dims[static_cast<std::size_t>(axis)] *= f;
+      remaining /= f;
+    } else {
+      ++f;
+      if (f * f > remaining) f = remaining;  // remaining is prime
+    }
+  }
+  return dims;
+}
+
+}  // namespace
+
+CartTopology::CartTopology(int size, int ndim, std::array<int, 3> requested,
+                           std::array<bool, 3> periodic)
+    : size_(size), ndim_(ndim), periodic_(periodic) {
+  RSHC_REQUIRE(size >= 1, "topology needs at least one rank");
+  RSHC_REQUIRE(ndim >= 1 && ndim <= 3, "topology supports 1..3 dimensions");
+  dims_ = balanced_dims(size, ndim, requested);
+  long long prod = 1;
+  for (int a = 0; a < 3; ++a) prod *= dims_[static_cast<std::size_t>(a)];
+  RSHC_REQUIRE(prod == size, "topology dims do not cover world size");
+}
+
+std::array<int, 3> CartTopology::coords(int rank) const {
+  RSHC_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+  std::array<int, 3> c = {0, 0, 0};
+  // Row-major: axis 0 slowest, last axis fastest (matches rank_of below).
+  int rem = rank;
+  for (int a = ndim_ - 1; a >= 0; --a) {
+    c[static_cast<std::size_t>(a)] = rem % dims_[static_cast<std::size_t>(a)];
+    rem /= dims_[static_cast<std::size_t>(a)];
+  }
+  return c;
+}
+
+int CartTopology::rank_of(const std::array<int, 3>& coords) const {
+  int rank = 0;
+  for (int a = 0; a < ndim_; ++a) {
+    const int d = dims_[static_cast<std::size_t>(a)];
+    const int c = coords[static_cast<std::size_t>(a)];
+    RSHC_REQUIRE(c >= 0 && c < d, "coordinate out of range");
+    rank = rank * d + c;
+  }
+  return rank;
+}
+
+std::optional<int> CartTopology::neighbor(int rank, int axis, int disp) const {
+  RSHC_REQUIRE(axis >= 0 && axis < ndim_, "axis out of range");
+  auto c = coords(rank);
+  const int d = dims_[static_cast<std::size_t>(axis)];
+  int x = c[static_cast<std::size_t>(axis)] + disp;
+  if (periodic_[static_cast<std::size_t>(axis)]) {
+    x = ((x % d) + d) % d;
+  } else if (x < 0 || x >= d) {
+    return std::nullopt;
+  }
+  c[static_cast<std::size_t>(axis)] = x;
+  return rank_of(c);
+}
+
+}  // namespace rshc::comm

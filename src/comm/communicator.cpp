@@ -1,0 +1,216 @@
+#include "rshc/comm/communicator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace rshc::comm {
+
+std::chrono::steady_clock::duration TransferModel::flight_time(
+    std::size_t bytes) const {
+  double secs = latency_sec;
+  if (bandwidth_bytes_per_sec > 0.0) {
+    secs += static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(secs));
+}
+
+World::World(int size, TransferModel model) : size_(size), model_(model) {
+  RSHC_REQUIRE(size >= 1, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::size_t World::total_messages() const {
+  return msg_count_.load(std::memory_order_relaxed);
+}
+std::size_t World::total_bytes() const {
+  return byte_count_.load(std::memory_order_relaxed);
+}
+
+void World::deliver(int dest, Message msg) {
+  RSHC_REQUIRE(dest >= 0 && dest < size_, "send destination out of range");
+  msg_count_.fetch_add(1, std::memory_order_relaxed);
+  byte_count_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::scoped_lock lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+World::Message World::take_matching(int me, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    // In-order delivery per (source, tag): always take the *first* match in
+    // FIFO order and, if it is still in flight, wait for it specifically —
+    // a later same-tag message must never overtake it.
+    auto match_it = box.messages.end();
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      const bool match = (source == kAnySource || it->source == source) &&
+                         (tag == kAnyTag || it->tag == tag);
+      if (match) {
+        match_it = it;
+        break;
+      }
+    }
+    if (match_it != box.messages.end()) {
+      const auto ready_at = match_it->ready_at;
+      if (ready_at <= std::chrono::steady_clock::now()) {
+        Message msg = std::move(*match_it);
+        box.messages.erase(match_it);
+        return msg;
+      }
+      box.cv.wait_until(lock, ready_at);
+    } else {
+      box.cv.wait(lock);
+    }
+  }
+}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send_bytes(int dest, int tag,
+                              std::span<const std::byte> payload) {
+  World::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.ready_at =
+      std::chrono::steady_clock::now() + world_->model_.flight_time(payload.size());
+  world_->deliver(dest, std::move(msg));
+}
+
+int Communicator::recv_bytes(int source, int tag, std::span<std::byte> out) {
+  World::Message msg = world_->take_matching(rank_, source, tag);
+  RSHC_REQUIRE(msg.payload.size() == out.size(),
+               "recv size mismatch: expected " + std::to_string(out.size()) +
+                   " bytes, got " + std::to_string(msg.payload.size()));
+  std::memcpy(out.data(), msg.payload.data(), out.size());
+  return msg.source;
+}
+
+std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
+                                                    int* actual_source) {
+  World::Message msg = world_->take_matching(rank_, source, tag);
+  if (actual_source != nullptr) *actual_source = msg.source;
+  return std::move(msg.payload);
+}
+
+void Communicator::barrier() {
+  std::unique_lock lock(world_->coll_mutex_);
+  const long long gen = world_->coll_generation_;
+  if (++world_->coll_count_ == world_->size_) {
+    world_->coll_count_ = 0;
+    ++world_->coll_generation_;
+    world_->coll_cv_.notify_all();
+  } else {
+    world_->coll_cv_.wait(lock,
+                          [&] { return world_->coll_generation_ != gen; });
+  }
+}
+
+void Communicator::allreduce(std::span<double> values, ReduceOp op) {
+  auto combine = [op](double a, double b) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kMin: return std::min(a, b);
+      case ReduceOp::kMax: return std::max(a, b);
+    }
+    return a;  // unreachable
+  };
+  std::unique_lock lock(world_->coll_mutex_);
+  const long long gen = world_->coll_generation_;
+  if (world_->coll_count_ == 0) {
+    world_->coll_buffer_.assign(values.begin(), values.end());
+  } else {
+    RSHC_REQUIRE(world_->coll_buffer_.size() == values.size(),
+                 "allreduce length mismatch across ranks");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      world_->coll_buffer_[i] = combine(world_->coll_buffer_[i], values[i]);
+    }
+  }
+  if (++world_->coll_count_ == world_->size_) {
+    world_->coll_count_ = 0;
+    // Snapshot into a separate result buffer: the *next* collective's first
+    // arriver reuses coll_buffer_ while slow ranks may still be reading.
+    world_->coll_result_ = world_->coll_buffer_;
+    ++world_->coll_generation_;
+    world_->coll_cv_.notify_all();
+  } else {
+    world_->coll_cv_.wait(lock,
+                          [&] { return world_->coll_generation_ != gen; });
+  }
+  std::copy(world_->coll_result_.begin(), world_->coll_result_.end(),
+            values.begin());
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  allreduce(std::span<double>(&value, 1), op);
+  return value;
+}
+
+namespace {
+// Reserved tag range for collectives implemented over point-to-point.
+constexpr int kBcastTag = 1 << 28;
+constexpr int kGatherTag = (1 << 28) + 1;
+}  // namespace
+
+void Communicator::bcast(std::span<double> data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, std::span<const double>(data));
+    }
+  } else {
+    recv(root, kBcastTag, data);
+  }
+}
+
+std::vector<double> Communicator::gather(double value, int root) {
+  if (rank_ == root) {
+    std::vector<double> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = value;
+    for (int i = 0; i < size() - 1; ++i) {
+      int src = kAnySource;
+      const double v = [&] {
+        double tmp;
+        src = recv(kAnySource, kGatherTag, std::span<double>(&tmp, 1));
+        return tmp;
+      }();
+      out[static_cast<std::size_t>(src)] = v;
+    }
+    return out;
+  }
+  send_value(root, kGatherTag, value);
+  return {};
+}
+
+void run_world(int size, const std::function<void(Communicator&)>& body,
+               TransferModel model) {
+  World world(size, model);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      threads.emplace_back([&world, &body, &errors, r] {
+        try {
+          Communicator comm = world.communicator(r);
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace rshc::comm

@@ -1,0 +1,83 @@
+#include "rshc/common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return from_tokens(tokens);
+}
+
+Config Config::from_tokens(const std::vector<std::string>& tokens) {
+  Config cfg;
+  for (const auto& tok : tokens) {
+    const auto eq = tok.find('=');
+    RSHC_REQUIRE(eq != std::string::npos && eq > 0,
+                 "config token is not key=value: " + tok);
+    cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return find(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v->c_str(), &end);
+  RSHC_REQUIRE(end != nullptr && *end == '\0',
+               "config value for '" + key + "' is not a number: " + *v);
+  return x;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long x = std::strtoll(v->c_str(), &end, 10);
+  RSHC_REQUIRE(end != nullptr && *end == '\0',
+               "config value for '" + key + "' is not an integer: " + *v);
+  return x;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = find(key);
+  if (!v) return fallback;
+  if (*v == "1" || *v == "true" || *v == "on" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "off" || *v == "no") return false;
+  RSHC_REQUIRE(false, "config value for '" + key + "' is not a bool: " + *v);
+  return fallback;  // unreachable
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace rshc

@@ -1,0 +1,40 @@
+#include "rshc/common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace rshc::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    default:            return "?????";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view msg) {
+  using clock = std::chrono::steady_clock;
+  static const auto t0 = clock::now();
+  const double secs =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %.*s\n", secs, tag(lvl),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace rshc::log

@@ -1,0 +1,86 @@
+#include "rshc/common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  RSHC_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+void Table::add_row(std::vector<Cell> cells) {
+  RSHC_REQUIRE(cells.size() == columns_.size(),
+               "row width does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+const Table::Cell& Table::cell(std::size_t row, std::size_t col) const {
+  RSHC_REQUIRE(row < rows_.size() && col < columns_.size(),
+               "table cell out of range");
+  return rows_[row][col];
+}
+
+std::string Table::render(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double v = std::get<double>(c);
+  char buf[32];
+  // %.6g keeps tables compact while preserving convergence-order digits.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w + 2; ++i) os << ' ';
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) pad(columns_[c], width[c]);
+  os << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    pad(std::string(width[c], '-'), width[c]);
+  os << '\n';
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c) pad(row[c], width[c]);
+    os << '\n';
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << columns_[c] << (c + 1 == columns_.size() ? '\n' : ',');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << render(row[c]) << (c + 1 == row.size() ? '\n' : ',');
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  RSHC_REQUIRE(f.good(), "cannot open csv file for writing: " + path);
+  write_csv(f);
+}
+
+}  // namespace rshc

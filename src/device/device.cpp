@@ -1,0 +1,192 @@
+#include "rshc/device/device.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::device {
+
+std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kHostScalar: return "host-scalar";
+    case Backend::kHostSimd:   return "host-simd";
+    case Backend::kAccelSim:   return "accel-sim";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int next_device_id() {
+  static std::atomic<int> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Host devices: no separate arena, everything executes inline.
+class HostDevice final : public Device {
+ public:
+  explicit HostDevice(Backend backend)
+      : backend_(backend), id_(next_device_id()) {}
+
+  [[nodiscard]] Backend backend() const override { return backend_; }
+  [[nodiscard]] bool requires_staging() const override { return false; }
+
+  [[nodiscard]] Buffer alloc(std::size_t n) override { return Buffer(n, id_); }
+
+  Event upload_async(std::span<const double> host, Buffer& dst) override {
+    RSHC_REQUIRE(host.size() == dst.size(), "upload size mismatch");
+    std::memcpy(dst.device_view().data(), host.data(),
+                host.size() * sizeof(double));
+    Event e;
+    e.set();
+    return e;
+  }
+
+  Event download_async(const Buffer& src, std::span<double> host) override {
+    RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
+    std::memcpy(host.data(), src.device_view().data(),
+                host.size() * sizeof(double));
+    Event e;
+    e.set();
+    return e;
+  }
+
+  Event launch(std::function<void()> kernel, std::size_t) override {
+    kernel();
+    Event e;
+    e.set();
+    return e;
+  }
+
+  void synchronize() override {}
+
+ private:
+  Backend backend_;
+  int id_;
+};
+
+/// Simulated accelerator: one in-order stream worker, modeled transfer and
+/// launch costs. The "delay" is imposed by making the worker sleep for the
+/// modeled duration *in addition* to the actual memcpy/kernel time it spends
+/// — the memcpy stands in for DMA, the sleep for the link/launch overhead a
+/// real device would add.
+class AccelDevice final : public Device {
+ public:
+  explicit AccelDevice(AccelModel model)
+      : model_(model), id_(next_device_id()), worker_([this](const std::stop_token& st) {
+          worker_loop(st);
+        }) {}
+
+  ~AccelDevice() override {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    worker_.request_stop();
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] Backend backend() const override {
+    return Backend::kAccelSim;
+  }
+  [[nodiscard]] bool requires_staging() const override { return true; }
+
+  [[nodiscard]] Buffer alloc(std::size_t n) override { return Buffer(n, id_); }
+
+  Event upload_async(std::span<const double> host, Buffer& dst) override {
+    RSHC_REQUIRE(host.size() == dst.size(), "upload size mismatch");
+    const double cost = transfer_cost(host.size_bytes());
+    auto d = dst.device_view();
+    return enqueue(
+        [host, d, cost] {
+          model_sleep(cost);
+          std::memcpy(d.data(), host.data(), host.size_bytes());
+        });
+  }
+
+  Event download_async(const Buffer& src, std::span<double> host) override {
+    RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
+    const double cost = transfer_cost(host.size_bytes());
+    auto s = src.device_view();
+    return enqueue(
+        [host, s, cost] {
+          model_sleep(cost);
+          std::memcpy(host.data(), s.data(), host.size_bytes());
+        });
+  }
+
+  Event launch(std::function<void()> kernel, std::size_t work_items) override {
+    const double overhead = work_items > 0 ? model_.launch_overhead_sec : 0.0;
+    return enqueue([kernel = std::move(kernel), overhead] {
+      model_sleep(overhead);
+      kernel();
+    });
+  }
+
+  void synchronize() override {
+    Event fence = enqueue([] {});
+    fence.wait();
+  }
+
+ private:
+  [[nodiscard]] double transfer_cost(std::size_t bytes) const {
+    return model_.transfer_latency_sec +
+           static_cast<double>(bytes) / model_.transfer_bandwidth_bytes_per_sec;
+  }
+
+  static void model_sleep(double secs) {
+    if (secs <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  }
+
+  Event enqueue(std::function<void()> op) {
+    Event e;
+    {
+      std::scoped_lock lock(mutex_);
+      RSHC_REQUIRE(!stopping_, "submit to destroyed accelerator");
+      queue_.emplace_back(std::move(op), e);
+    }
+    cv_.notify_one();
+    return e;
+  }
+
+  void worker_loop(const std::stop_token& st) {
+    for (;;) {
+      std::pair<std::function<void()>, Event> item;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, st, [this] { return !queue_.empty() || stopping_; });
+        if (queue_.empty()) return;
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      item.first();
+      item.second.set();
+    }
+  }
+
+  AccelModel model_;
+  int id_;
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::pair<std::function<void()>, Event>> queue_;
+  bool stopping_ = false;
+  std::jthread worker_;
+};
+
+}  // namespace
+
+std::unique_ptr<Device> make_device(Backend backend, AccelModel model) {
+  if (backend == Backend::kAccelSim) {
+    return std::make_unique<AccelDevice>(model);
+  }
+  return std::make_unique<HostDevice>(backend);
+}
+
+}  // namespace rshc::device

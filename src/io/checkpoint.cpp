@@ -1,0 +1,109 @@
+#include "rshc/io/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace rshc::io {
+namespace {
+
+struct Header {
+  std::uint32_t magic = kCheckpointMagic;
+  std::uint32_t version = kCheckpointVersion;
+  std::int32_t ndim = 0;
+  std::int32_t nvar_cons = 0;
+  std::int32_t num_blocks = 0;
+  std::int32_t reserved = 0;
+  std::int64_t nx = 0;
+  std::int64_t ny = 0;
+  std::int64_t nz = 0;
+  double time = 0.0;
+};
+static_assert(sizeof(Header) == 56);
+
+template <typename T>
+void write_raw(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+void read_raw(std::ifstream& f, T& v) {
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+template <typename Physics>
+void write_checkpoint(const std::string& path,
+                      const solver::FvSolver<Physics>& s) {
+  std::ofstream f(path, std::ios::binary);
+  RSHC_REQUIRE(f.good(), "cannot open checkpoint for writing: " + path);
+  Header h;
+  h.ndim = s.grid().ndim();
+  h.nvar_cons = Physics::kNumCons;
+  h.num_blocks = s.num_blocks();
+  h.nx = s.grid().extent(0);
+  h.ny = s.grid().extent(1);
+  h.nz = s.grid().extent(2);
+  h.time = s.time();
+  write_raw(f, h);
+  for (int b = 0; b < s.num_blocks(); ++b) {
+    const auto& blk = s.block(b);
+    const auto& u = blk.cons();
+    for (int v = 0; v < Physics::kNumCons; ++v) {
+      for (int k = blk.begin(2); k < blk.end(2); ++k) {
+        for (int j = blk.begin(1); j < blk.end(1); ++j) {
+          for (int i = blk.begin(0); i < blk.end(0); ++i) {
+            write_raw(f, u(v, k, j, i));
+          }
+        }
+      }
+    }
+  }
+  RSHC_REQUIRE(f.good(), "checkpoint write failed: " + path);
+}
+
+template <typename Physics>
+void read_checkpoint(const std::string& path,
+                     solver::FvSolver<Physics>& s) {
+  std::ifstream f(path, std::ios::binary);
+  RSHC_REQUIRE(f.good(), "cannot open checkpoint for reading: " + path);
+  Header h;
+  read_raw(f, h);
+  RSHC_REQUIRE(f.good() && h.magic == kCheckpointMagic,
+               "not an rshc checkpoint: " + path);
+  RSHC_REQUIRE(h.version == kCheckpointVersion,
+               "unsupported checkpoint version");
+  RSHC_REQUIRE(h.ndim == s.grid().ndim() && h.nx == s.grid().extent(0) &&
+                   h.ny == s.grid().extent(1) && h.nz == s.grid().extent(2),
+               "checkpoint grid shape mismatch");
+  RSHC_REQUIRE(h.nvar_cons == Physics::kNumCons,
+               "checkpoint physics mismatch");
+  RSHC_REQUIRE(h.num_blocks == s.num_blocks(),
+               "checkpoint block layout mismatch");
+  for (int b = 0; b < s.num_blocks(); ++b) {
+    auto& blk = s.block(b);
+    auto& u = blk.cons();
+    for (int v = 0; v < Physics::kNumCons; ++v) {
+      for (int k = blk.begin(2); k < blk.end(2); ++k) {
+        for (int j = blk.begin(1); j < blk.end(1); ++j) {
+          for (int i = blk.begin(0); i < blk.end(0); ++i) {
+            read_raw(f, u(v, k, j, i));
+          }
+        }
+      }
+    }
+  }
+  RSHC_REQUIRE(f.good(), "checkpoint truncated: " + path);
+  s.set_time(h.time);
+  s.recover_all_prims();
+}
+
+template void write_checkpoint<solver::SrhdPhysics>(
+    const std::string&, const solver::FvSolver<solver::SrhdPhysics>&);
+template void write_checkpoint<solver::SrmhdPhysics>(
+    const std::string&, const solver::FvSolver<solver::SrmhdPhysics>&);
+template void read_checkpoint<solver::SrhdPhysics>(
+    const std::string&, solver::FvSolver<solver::SrhdPhysics>&);
+template void read_checkpoint<solver::SrmhdPhysics>(
+    const std::string&, solver::FvSolver<solver::SrmhdPhysics>&);
+
+}  // namespace rshc::io

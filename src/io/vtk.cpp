@@ -1,0 +1,41 @@
+#include "rshc/io/vtk.hpp"
+
+#include <fstream>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::io {
+
+void write_vtk(const std::string& path, const mesh::Grid& grid,
+               std::span<const VtkField> fields) {
+  std::ofstream f(path);
+  RSHC_REQUIRE(f.good(), "cannot open vtk file for writing: " + path);
+  const long long nx = grid.extent(0);
+  const long long ny = grid.extent(1);
+  const long long nz = grid.extent(2);
+  const long long ncells = nx * ny * nz;
+
+  f << "# vtk DataFile Version 3.0\n";
+  f << "rshc output\n";
+  f << "ASCII\n";
+  f << "DATASET STRUCTURED_POINTS\n";
+  // Cell data on an (nx+1, ny+1, nz+1) point lattice.
+  f << "DIMENSIONS " << nx + 1 << ' ' << ny + 1 << ' ' << nz + 1 << '\n';
+  f << "ORIGIN " << grid.xmin(0) << ' '
+    << (grid.ndim() >= 2 ? grid.xmin(1) : 0.0) << ' '
+    << (grid.ndim() >= 3 ? grid.xmin(2) : 0.0) << '\n';
+  f << "SPACING " << grid.dx(0) << ' '
+    << (grid.ndim() >= 2 ? grid.dx(1) : 1.0) << ' '
+    << (grid.ndim() >= 3 ? grid.dx(2) : 1.0) << '\n';
+  f << "CELL_DATA " << ncells << '\n';
+  for (const auto& field : fields) {
+    RSHC_REQUIRE(field.data.size() == static_cast<std::size_t>(ncells),
+                 "vtk field size does not match grid: " + field.name);
+    f << "SCALARS " << field.name << " double 1\n";
+    f << "LOOKUP_TABLE default\n";
+    for (const double v : field.data) f << v << '\n';
+  }
+  RSHC_REQUIRE(f.good(), "vtk write failed: " + path);
+}
+
+}  // namespace rshc::io

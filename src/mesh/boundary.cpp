@@ -1,0 +1,78 @@
+#include "rshc/mesh/boundary.hpp"
+
+#include <algorithm>
+
+namespace rshc::mesh {
+
+std::string_view bc_name(BcType t) {
+  switch (t) {
+    case BcType::kPeriodic: return "periodic";
+    case BcType::kOutflow: return "outflow";
+    case BcType::kReflect: return "reflect";
+  }
+  return "unknown";
+}
+
+BcType parse_bc(std::string_view name) {
+  if (name == "periodic") return BcType::kPeriodic;
+  if (name == "outflow") return BcType::kOutflow;
+  if (name == "reflect") return BcType::kReflect;
+  RSHC_REQUIRE(false, std::string("unknown boundary type: ") +
+                          std::string(name));
+  return BcType::kOutflow;  // unreachable
+}
+
+void apply_physical_boundary(Block& b, int axis, int side, BcType type,
+                             std::span<const int> negate_vars) {
+  RSHC_REQUIRE(type != BcType::kPeriodic,
+               "periodic boundaries are applied via halo exchange");
+  const int ng = b.ghost(axis);
+  if (ng == 0) return;
+  auto& w = b.prim();
+  const int nvar = w.nvar();
+
+  // Full transverse extent (ghosts included) so corner ghosts at physical
+  // boundaries hold sane values regardless of application order.
+  int lo[3] = {0, 0, 0};
+  int hi[3] = {b.total(0), b.total(1), b.total(2)};
+
+  auto is_negated = [&](int v) {
+    return std::find(negate_vars.begin(), negate_vars.end(), v) !=
+           negate_vars.end();
+  };
+
+  for (int g = 0; g < ng; ++g) {
+    // Ghost layer index and its source interior layer.
+    int ghost_idx;
+    int src_idx;
+    if (side == 0) {
+      ghost_idx = b.begin(axis) - 1 - g;
+      src_idx = type == BcType::kOutflow ? b.begin(axis)
+                                         : b.begin(axis) + g;  // mirror
+    } else {
+      ghost_idx = b.end(axis) + g;
+      src_idx = type == BcType::kOutflow ? b.end(axis) - 1
+                                         : b.end(axis) - 1 - g;  // mirror
+    }
+    for (int v = 0; v < nvar; ++v) {
+      const double sign =
+          (type == BcType::kReflect && is_negated(v)) ? -1.0 : 1.0;
+      int l0[3] = {lo[0], lo[1], lo[2]};
+      int h0[3] = {hi[0], hi[1], hi[2]};
+      l0[axis] = ghost_idx;
+      h0[axis] = ghost_idx + 1;
+      for (int k = l0[2]; k < h0[2]; ++k) {
+        for (int j = l0[1]; j < h0[1]; ++j) {
+          for (int i = l0[0]; i < h0[0]; ++i) {
+            const int ks = axis == 2 ? src_idx : k;
+            const int js = axis == 1 ? src_idx : j;
+            const int is = axis == 0 ? src_idx : i;
+            w(v, k, j, i) = sign * w(v, ks, js, is);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rshc::mesh

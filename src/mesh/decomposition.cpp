@@ -1,0 +1,70 @@
+#include "rshc/mesh/decomposition.hpp"
+
+namespace rshc::mesh {
+
+Decomposition::Decomposition(const Grid& grid, std::array<int, 3> nblocks)
+    : grid_(&grid), nb_(nblocks) {
+  for (int a = 0; a < 3; ++a) {
+    auto& sa = nb_[static_cast<std::size_t>(a)];
+    if (a >= grid.ndim()) sa = 1;
+    RSHC_REQUIRE(sa >= 1, "block count must be positive");
+    const long long n = grid.extent(a);
+    RSHC_REQUIRE(sa <= n, "more blocks than cells along an axis");
+    auto& splits = splits_[static_cast<std::size_t>(a)];
+    splits.resize(static_cast<std::size_t>(sa) + 1);
+    const long long base = n / sa;
+    const long long rem = n % sa;
+    splits[0] = 0;
+    for (int b = 0; b < sa; ++b) {
+      splits[static_cast<std::size_t>(b) + 1] =
+          splits[static_cast<std::size_t>(b)] + base + (b < rem ? 1 : 0);
+    }
+  }
+}
+
+int Decomposition::block_id(std::array<int, 3> c) const {
+  for (int a = 0; a < 3; ++a) {
+    RSHC_REQUIRE(c[static_cast<std::size_t>(a)] >= 0 &&
+                     c[static_cast<std::size_t>(a)] <
+                         nb_[static_cast<std::size_t>(a)],
+                 "block coordinate out of range");
+  }
+  return (c[2] * nb_[1] + c[1]) * nb_[0] + c[0];
+}
+
+std::array<int, 3> Decomposition::block_coords(int id) const {
+  RSHC_REQUIRE(id >= 0 && id < num_blocks(), "block id out of range");
+  std::array<int, 3> c;
+  c[0] = id % nb_[0];
+  c[1] = (id / nb_[0]) % nb_[1];
+  c[2] = id / (nb_[0] * nb_[1]);
+  return c;
+}
+
+BlockExtents Decomposition::extents(int id) const {
+  const auto c = block_coords(id);
+  BlockExtents e;
+  for (int a = 0; a < 3; ++a) {
+    const auto& splits = splits_[static_cast<std::size_t>(a)];
+    e.lo[static_cast<std::size_t>(a)] =
+        splits[static_cast<std::size_t>(c[static_cast<std::size_t>(a)])];
+    e.hi[static_cast<std::size_t>(a)] =
+        splits[static_cast<std::size_t>(c[static_cast<std::size_t>(a)]) + 1];
+  }
+  return e;
+}
+
+std::optional<int> Decomposition::neighbor(int id, int axis, int side,
+                                           bool periodic) const {
+  auto c = block_coords(id);
+  const int d = nb_[static_cast<std::size_t>(axis)];
+  int x = c[static_cast<std::size_t>(axis)] + (side == 0 ? -1 : 1);
+  if (x < 0 || x >= d) {
+    if (!periodic) return std::nullopt;
+    x = (x + d) % d;
+  }
+  c[static_cast<std::size_t>(axis)] = x;
+  return block_id(c);
+}
+
+}  // namespace rshc::mesh

@@ -1,0 +1,60 @@
+#include "rshc/parallel/task_graph.hpp"
+
+#include "rshc/common/error.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+
+namespace rshc::parallel {
+
+TaskGraph::NodeId TaskGraph::add(std::function<void()> fn,
+                                 std::span<const NodeId> deps) {
+  const NodeId id = nodes_.size();
+  auto& node = nodes_.emplace_back();
+  node.fn = std::move(fn);
+  node.num_deps = static_cast<int>(deps.size());
+  for (const NodeId dep : deps) {
+    RSHC_REQUIRE(dep < id, "task graph dependency must precede the node");
+    nodes_[dep].dependents.push_back(id);
+  }
+  return id;
+}
+
+void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
+  try {
+    nodes_[id].fn();
+  } catch (...) {
+    std::scoped_lock lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  release_dependents(pool, id);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_.set_value();
+  }
+}
+
+void TaskGraph::release_dependents(ThreadPool& pool, NodeId id) {
+  for (const NodeId dep : nodes_[id].dependents) {
+    if (nodes_[dep].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pool.enqueue([this, &pool, dep] { finish_node(pool, dep); });
+    }
+  }
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  if (nodes_.empty()) return;
+  // Reset per-run scheduling state.
+  for (auto& n : nodes_) n.pending.store(n.num_deps, std::memory_order_relaxed);
+  remaining_.store(nodes_.size(), std::memory_order_relaxed);
+  done_ = std::promise<void>();
+  error_ = nullptr;
+
+  auto done = done_.get_future();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].num_deps == 0) {
+      pool.enqueue([this, &pool, id] { finish_node(pool, id); });
+    }
+  }
+  done.wait();
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace rshc::parallel

@@ -1,0 +1,121 @@
+#include "rshc/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::parallel {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  RSHC_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& st) { worker_loop(st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread destructor joins.
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::scoped_lock lock(mutex_);
+    RSHC_REQUIRE(!stopping_, "enqueue on stopped thread pool");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop(const std::stop_token& st) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, st, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stop requested and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(long long begin, long long end,
+                              const std::function<void(long long)>& fn,
+                              long long grain) {
+  if (begin >= end) return;
+  grain = std::max<long long>(1, grain);
+  const long long n = end - begin;
+  const long long nchunks = (n + grain - 1) / grain;
+  if (nchunks <= 1) {
+    for (long long i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Self-scheduling: helpers and the caller all claim chunks from a shared
+  // atomic cursor. The caller participates, so every chunk is either done or
+  // being executed by a live thread — parallel_for is therefore safe to call
+  // from inside a pool worker (no queued-but-unstarted work is awaited).
+  struct Shared {
+    std::atomic<long long> next;
+    std::atomic<long long> completed{0};
+    long long total;
+    std::promise<void> done;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin, std::memory_order_relaxed);
+  shared->total = nchunks;
+
+  auto drive = [shared, end, grain, &fn] {
+    long long finished = 0;
+    for (;;) {
+      const long long lo =
+          shared->next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const long long hi = std::min(end, lo + grain);
+      try {
+        for (long long i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::scoped_lock lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      ++finished;
+    }
+    if (finished > 0 &&
+        shared->completed.fetch_add(finished, std::memory_order_acq_rel) +
+                finished ==
+            shared->total) {
+      shared->done.set_value();
+    }
+  };
+
+  const long long helpers =
+      std::min<long long>(nchunks - 1, static_cast<long long>(size()));
+  for (long long h = 0; h < helpers; ++h) enqueue(drive);
+  drive();
+  shared->done.get_future().wait();
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace rshc::parallel

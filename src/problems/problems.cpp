@@ -1,0 +1,146 @@
+#include "rshc/problems/problems.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rshc/common/math.hpp"
+
+namespace rshc::problems {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+ShockTube marti_muller_1() {
+  ShockTube st;
+  st.name = "MM1";
+  st.left = srhd::Prim{10.0, 0.0, 0.0, 0.0, 13.33};
+  st.right = srhd::Prim{1.0, 0.0, 0.0, 0.0, 1e-7};
+  st.t_final = 0.4;
+  st.gamma = 5.0 / 3.0;
+  return st;
+}
+
+ShockTube marti_muller_2() {
+  ShockTube st;
+  st.name = "MM2";
+  st.left = srhd::Prim{1.0, 0.0, 0.0, 0.0, 1000.0};
+  st.right = srhd::Prim{1.0, 0.0, 0.0, 0.0, 0.01};
+  st.t_final = 0.35;
+  st.gamma = 5.0 / 3.0;
+  return st;
+}
+
+ShockTube sod() {
+  ShockTube st;
+  st.name = "Sod";
+  st.left = srhd::Prim{1.0, 0.0, 0.0, 0.0, 1.0};
+  st.right = srhd::Prim{0.125, 0.0, 0.0, 0.0, 0.1};
+  st.t_final = 0.35;
+  st.gamma = 1.4;
+  return st;
+}
+
+SrhdIc shock_tube_ic(const ShockTube& st) {
+  return [st](double x, double, double) {
+    return x < st.x_split ? st.left : st.right;
+  };
+}
+
+SrhdIc smooth_wave_ic(const SmoothWave& w) {
+  return [w](double x, double, double) {
+    srhd::Prim p;
+    p.rho = w.rho0 + w.amplitude * std::sin(kTwoPi * x);
+    p.vx = w.velocity;
+    p.p = w.pressure;
+    return p;
+  };
+}
+
+double smooth_wave_exact_rho(const SmoothWave& w, double x, double t) {
+  // Uniform v and p: the density profile is exactly advected.
+  return w.rho0 + w.amplitude * std::sin(kTwoPi * (x - w.velocity * t));
+}
+
+SrhdIc kelvin_helmholtz_ic(const KelvinHelmholtz& kh) {
+  // Double shear layer at y = +-1/4 so the profile is smooth across the
+  // periodic y-boundary (a single layer would leave an unresolved jump
+  // there). Inner band streams at +v_sh, outer band at -v_sh.
+  return [kh](double x, double y, double) {
+    srhd::Prim p;
+    const double a = kh.layer_width;
+    const double profile =
+        std::tanh((y + 0.25) / a) - std::tanh((y - 0.25) / a) - 1.0;
+    p.rho = 1.0 + 0.5 * kh.density_contrast * profile;
+    p.vx = kh.shear_velocity * profile;
+    // Single-mode perturbation localized on both layers.
+    const double lobes =
+        std::exp(-rshc::sq(y - 0.25) / (4.0 * a * a)) +
+        std::exp(-rshc::sq(y + 0.25) / (4.0 * a * a));
+    p.vy = kh.perturb_amplitude * kh.shear_velocity *
+           std::sin(kTwoPi * x) * lobes;
+    p.p = kh.pressure;
+    return p;
+  };
+}
+
+SrhdIc blast2d_ic(const Blast2d& b) {
+  return [b](double x, double y, double) {
+    srhd::Prim p;
+    p.rho = b.rho;
+    p.p = std::hypot(x, y) < b.r_inner ? b.p_inner : b.p_outer;
+    return p;
+  };
+}
+
+MhdShockTube balsara_1() {
+  MhdShockTube st;
+  st.name = "Balsara1";
+  st.left.rho = 1.0;
+  st.left.p = 1.0;
+  st.left.bx = 0.5;
+  st.left.by = 1.0;
+  st.right.rho = 0.125;
+  st.right.p = 0.1;
+  st.right.bx = 0.5;
+  st.right.by = -1.0;
+  st.t_final = 0.4;
+  st.gamma = 2.0;
+  return st;
+}
+
+SrmhdIc mhd_shock_tube_ic(const MhdShockTube& st) {
+  return [st](double x, double, double) {
+    return x < st.x_split ? st.left : st.right;
+  };
+}
+
+SrmhdIc mhd_blast2d_ic(const MhdBlast2d& b) {
+  return [b](double x, double y, double) {
+    srmhd::Prim p;
+    p.rho = b.rho;
+    p.p = std::hypot(x, y) < b.r_inner ? b.p_inner : b.p_outer;
+    p.bx = b.bx;
+    return p;
+  };
+}
+
+SrmhdIc field_loop_ic(const FieldLoop& fl) {
+  return [fl](double x, double y, double) {
+    srmhd::Prim p;
+    p.rho = fl.rho;
+    p.p = fl.pressure;
+    p.vx = fl.vx;
+    p.vy = fl.vy;
+    // B = curl(A z_hat) with A = A0 (R - r) inside the loop:
+    // B = A0 * (-y/r, x/r) for r < R (tangential field of constant
+    // magnitude), zero outside.
+    const double r = std::hypot(x, y);
+    if (r < fl.radius && r > 1e-12) {
+      p.bx = -fl.field * y / r;
+      p.by = fl.field * x / r;
+    }
+    return p;
+  };
+}
+
+}  // namespace rshc::problems

@@ -1,0 +1,184 @@
+#include "rshc/recon/reconstruct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rshc/common/error.hpp"
+#include "rshc/common/math.hpp"
+
+namespace rshc::recon {
+namespace {
+
+void pcm(std::span<const double> q, std::span<double> ql,
+         std::span<double> qr) {
+  const std::size_t n = q.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ql[i] = q[i];
+    qr[i] = q[i];
+  }
+}
+
+template <typename Limiter>
+void plm(std::span<const double> q, std::span<double> ql, std::span<double> qr,
+         Limiter limiter) {
+  const std::size_t n = q.size();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double dqm = q[i] - q[i - 1];
+    const double dqp = q[i + 1] - q[i];
+    const double slope = limiter(dqm, dqp);
+    ql[i] = q[i] - 0.5 * slope;
+    qr[i] = q[i] + 0.5 * slope;
+  }
+}
+
+/// Colella & Woodward (1984) PPM with the original monotonization.
+void ppm(std::span<const double> q, std::span<double> ql,
+         std::span<double> qr) {
+  const std::size_t n = q.size();
+  if (n < 5) return;
+  // 4th-order face interpolant at i+1/2 (uses i-1..i+2).
+  auto face = [&](std::size_t i) {
+    return (7.0 / 12.0) * (q[i] + q[i + 1]) -
+           (1.0 / 12.0) * (q[i - 1] + q[i + 2]);
+  };
+  for (std::size_t i = 2; i + 2 < n; ++i) {
+    double qm = face(i - 1);  // value at i-1/2
+    double qp = face(i);      // value at i+1/2
+
+    // CW84 monotonization: clip face values into the neighbouring-cell
+    // range, then remove interior extrema.
+    qm = std::clamp(qm, std::min(q[i - 1], q[i]), std::max(q[i - 1], q[i]));
+    qp = std::clamp(qp, std::min(q[i], q[i + 1]), std::max(q[i], q[i + 1]));
+
+    if ((qp - q[i]) * (q[i] - qm) <= 0.0) {
+      // Cell is a local extremum: flatten.
+      qm = q[i];
+      qp = q[i];
+    } else {
+      const double dq = qp - qm;
+      const double q6 = 6.0 * (q[i] - 0.5 * (qm + qp));
+      if (dq * q6 > dq * dq) {
+        qm = 3.0 * q[i] - 2.0 * qp;
+      } else if (-dq * dq > dq * q6) {
+        qp = 3.0 * q[i] - 2.0 * qm;
+      }
+    }
+    ql[i] = qm;
+    qr[i] = qp;
+  }
+}
+
+/// Jiang & Shu (1996) WENO5 value at the right face of cell i, from the
+/// 5-point stencil q[i-2..i+2].
+double weno5_face(double qm2, double qm1, double q0, double qp1, double qp2) {
+  constexpr double eps = 1e-6;
+  // Candidate stencils (3rd order each).
+  const double f0 = (2.0 * qm2 - 7.0 * qm1 + 11.0 * q0) / 6.0;
+  const double f1 = (-qm1 + 5.0 * q0 + 2.0 * qp1) / 6.0;
+  const double f2 = (2.0 * q0 + 5.0 * qp1 - qp2) / 6.0;
+  // Smoothness indicators.
+  const double b0 = (13.0 / 12.0) * rshc::sq(qm2 - 2.0 * qm1 + q0) +
+                    0.25 * rshc::sq(qm2 - 4.0 * qm1 + 3.0 * q0);
+  const double b1 = (13.0 / 12.0) * rshc::sq(qm1 - 2.0 * q0 + qp1) +
+                    0.25 * rshc::sq(qm1 - qp1);
+  const double b2 = (13.0 / 12.0) * rshc::sq(q0 - 2.0 * qp1 + qp2) +
+                    0.25 * rshc::sq(3.0 * q0 - 4.0 * qp1 + qp2);
+  // Nonlinear weights from ideal weights {1,6,3}/10.
+  const double a0 = 0.1 / rshc::sq(eps + b0);
+  const double a1 = 0.6 / rshc::sq(eps + b1);
+  const double a2 = 0.3 / rshc::sq(eps + b2);
+  return (a0 * f0 + a1 * f1 + a2 * f2) / (a0 + a1 + a2);
+}
+
+void weno5(std::span<const double> q, std::span<double> ql,
+           std::span<double> qr) {
+  const std::size_t n = q.size();
+  if (n < 5) return;
+  for (std::size_t i = 2; i + 2 < n; ++i) {
+    // Right face: upwind-biased from the left.
+    qr[i] = weno5_face(q[i - 2], q[i - 1], q[i], q[i + 1], q[i + 2]);
+    // Left face: mirror the stencil.
+    ql[i] = weno5_face(q[i + 2], q[i + 1], q[i], q[i - 1], q[i - 2]);
+  }
+}
+
+}  // namespace
+
+int stencil_radius(Method m) {
+  switch (m) {
+    case Method::kPCM: return 0;
+    case Method::kPLMMinmod:
+    case Method::kPLMMC:
+    case Method::kPLMVanLeer: return 1;
+    case Method::kPPM:
+    case Method::kWENO5: return 2;
+  }
+  return 2;
+}
+
+int ghost_width(Method m) { return stencil_radius(m) + 1; }
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::kPCM: return "pcm";
+    case Method::kPLMMinmod: return "plm-minmod";
+    case Method::kPLMMC: return "plm-mc";
+    case Method::kPLMVanLeer: return "plm-vanleer";
+    case Method::kPPM: return "ppm";
+    case Method::kWENO5: return "weno5";
+  }
+  return "unknown";
+}
+
+Method parse_method(std::string_view name) {
+  if (name == "pcm") return Method::kPCM;
+  if (name == "plm-minmod") return Method::kPLMMinmod;
+  if (name == "plm-mc" || name == "plm") return Method::kPLMMC;
+  if (name == "plm-vanleer") return Method::kPLMVanLeer;
+  if (name == "ppm") return Method::kPPM;
+  if (name == "weno5") return Method::kWENO5;
+  RSHC_REQUIRE(false, std::string("unknown reconstruction method: ") +
+                          std::string(name));
+  return Method::kPCM;  // unreachable
+}
+
+int formal_order(Method m) {
+  switch (m) {
+    case Method::kPCM: return 1;
+    case Method::kPLMMinmod:
+    case Method::kPLMMC:
+    case Method::kPLMVanLeer: return 2;
+    case Method::kPPM: return 3;  // 3rd order at faces in this MOL setting
+    case Method::kWENO5: return 5;
+  }
+  return 1;
+}
+
+void reconstruct(Method m, std::span<const double> q, std::span<double> ql,
+                 std::span<double> qr) {
+  RSHC_REQUIRE(ql.size() == q.size() && qr.size() == q.size(),
+               "reconstruction output size mismatch");
+  switch (m) {
+    case Method::kPCM:
+      pcm(q, ql, qr);
+      break;
+    case Method::kPLMMinmod:
+      plm(q, ql, qr, [](double a, double b) { return rshc::minmod(a, b); });
+      break;
+    case Method::kPLMMC:
+      plm(q, ql, qr, [](double a, double b) { return rshc::mc_slope(a, b); });
+      break;
+    case Method::kPLMVanLeer:
+      plm(q, ql, qr,
+          [](double a, double b) { return rshc::van_leer_slope(a, b); });
+      break;
+    case Method::kPPM:
+      ppm(q, ql, qr);
+      break;
+    case Method::kWENO5:
+      weno5(q, ql, qr);
+      break;
+  }
+}
+
+}  // namespace rshc::recon

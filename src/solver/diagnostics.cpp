@@ -1,0 +1,61 @@
+#include "rshc/solver/diagnostics.hpp"
+
+#include <cmath>
+
+#include "rshc/srmhd/state.hpp"
+
+namespace rshc::solver {
+
+double max_divb_block(const mesh::Block& blk) {
+  const auto& w = blk.prim();
+  const auto& g = blk.grid();
+  double worst = 0.0;
+  for (int k = blk.begin(2); k < blk.end(2); ++k) {
+    for (int j = blk.begin(1); j < blk.end(1); ++j) {
+      for (int i = blk.begin(0); i < blk.end(0); ++i) {
+        double div = (w(srmhd::kBx, k, j, i + 1) -
+                      w(srmhd::kBx, k, j, i - 1)) /
+                     (2.0 * g.dx(0));
+        if (g.ndim() >= 2) {
+          div += (w(srmhd::kBy, k, j + 1, i) - w(srmhd::kBy, k, j - 1, i)) /
+                 (2.0 * g.dx(1));
+        }
+        if (g.ndim() >= 3) {
+          div += (w(srmhd::kBz, k + 1, j, i) - w(srmhd::kBz, k - 1, j, i)) /
+                 (2.0 * g.dx(2));
+        }
+        worst = std::max(worst, std::abs(div));
+      }
+    }
+  }
+  return worst;
+}
+
+double max_divb(SrmhdSolver& solver) {
+  solver.fill_all_ghosts();
+  double worst = 0.0;
+  for (int b = 0; b < solver.num_blocks(); ++b) {
+    worst = std::max(worst, max_divb_block(solver.block(b)));
+  }
+  return worst;
+}
+
+double psi_l2(const SrmhdSolver& solver) {
+  double sum = 0.0;
+  long long count = 0;
+  for (int b = 0; b < solver.num_blocks(); ++b) {
+    const auto& blk = solver.block(b);
+    const auto& w = blk.prim();
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          sum += w(srmhd::kPsi, k, j, i) * w(srmhd::kPsi, k, j, i);
+          ++count;
+        }
+      }
+    }
+  }
+  return count > 0 ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+}
+
+}  // namespace rshc::solver

@@ -1,0 +1,149 @@
+#include "rshc/solver/distributed.hpp"
+
+#include "rshc/mesh/decomposition.hpp"
+
+namespace rshc::solver {
+namespace {
+
+/// Message tag for a halo landing on the receiver's (axis, side) face.
+int halo_tag(int axis, int receiver_side) { return axis * 2 + receiver_side; }
+
+constexpr int kGatherTagBase = 100;
+
+std::array<bool, 3> periodic_flags(const mesh::BoundarySpec& bc) {
+  return {bc.periodic(0), bc.periodic(1), bc.periodic(2)};
+}
+
+mesh::BlockExtents extents_for_rank(const mesh::Grid& grid,
+                                    const comm::CartTopology& topo,
+                                    int rank) {
+  const mesh::Decomposition decomp(
+      grid, {topo.dims()[0], topo.dims()[1], topo.dims()[2]});
+  const auto c = topo.coords(rank);
+  return decomp.extents(decomp.block_id({c[0], c[1], c[2]}));
+}
+
+}  // namespace
+
+template <typename Physics>
+DistributedSolver<Physics>::DistributedSolver(const mesh::Grid& grid,
+                                              comm::Communicator& comm,
+                                              Options opt)
+    : grid_(grid),
+      comm_(comm),
+      topo_(comm.size(), grid.ndim(), {0, 0, 0}, periodic_flags(opt.bc)),
+      my_extents_(extents_for_rank(grid, topo_, comm.rank())),
+      local_(grid_, opt, my_extents_) {
+  local_.set_ghost_filler([this](int) { exchange_halos(); });
+}
+
+template <typename Physics>
+void DistributedSolver<Physics>::initialize(
+    const std::function<Prim(double, double, double)>& fn) {
+  local_.initialize(fn);
+}
+
+template <typename Physics>
+void DistributedSolver<Physics>::exchange_halos() {
+  mesh::Block& blk = local_.block(0);
+  const int me = comm_.rank();
+  for (int axis = 0; axis < grid_.ndim(); ++axis) {
+    // Post both sends first (sends never block), then receive.
+    for (int side = 0; side < 2; ++side) {
+      const auto nbr = topo_.neighbor(me, axis, side == 0 ? -1 : +1);
+      if (!nbr.has_value()) continue;
+      send_buf_.resize(mesh::halo_buffer_size(blk, axis));
+      mesh::pack_face(blk, axis, side, send_buf_);
+      // My face `side` fills the neighbour's opposite-side ghosts.
+      comm_.send(*nbr, halo_tag(axis, 1 - side),
+                 std::span<const double>(send_buf_));
+    }
+    for (int side = 0; side < 2; ++side) {
+      const auto nbr = topo_.neighbor(me, axis, side == 0 ? -1 : +1);
+      if (nbr.has_value()) {
+        recv_buf_.resize(mesh::halo_buffer_size(blk, axis));
+        comm_.recv(*nbr, halo_tag(axis, side), std::span<double>(recv_buf_));
+        mesh::unpack_ghost(blk, axis, side, recv_buf_);
+      } else {
+        const auto negate = Physics::reflect_negate_vars(axis);
+        mesh::apply_physical_boundary(
+            blk, axis, side,
+            local_.options().bc.type[static_cast<std::size_t>(axis)],
+            negate);
+      }
+    }
+  }
+}
+
+template <typename Physics>
+double DistributedSolver<Physics>::compute_dt() {
+  const double local_dt = local_.compute_dt();
+  return comm_.allreduce(local_dt, comm::ReduceOp::kMin);
+}
+
+template <typename Physics>
+void DistributedSolver<Physics>::step(double dt) {
+  local_.step(dt);
+}
+
+template <typename Physics>
+int DistributedSolver<Physics>::advance_to(double t_end, int max_steps) {
+  int steps = 0;
+  while (local_.time() < t_end && steps < max_steps) {
+    double dt = compute_dt();
+    if (local_.time() + dt > t_end) dt = t_end - local_.time();
+    step(dt);
+    ++steps;
+  }
+  return steps;
+}
+
+template <typename Physics>
+std::vector<double> DistributedSolver<Physics>::gather_prim_var_root(int v) {
+  const mesh::Block& blk = local_.block(0);
+  // Serialize my interior slab in local row-major order.
+  std::vector<double> mine;
+  mine.reserve(static_cast<std::size_t>(my_extents_.num_cells()));
+  const auto& w = blk.prim();
+  for (int k = blk.begin(2); k < blk.end(2); ++k) {
+    for (int j = blk.begin(1); j < blk.end(1); ++j) {
+      for (int i = blk.begin(0); i < blk.end(0); ++i) {
+        mine.push_back(w(v, k, j, i));
+      }
+    }
+  }
+
+  if (comm_.rank() != 0) {
+    comm_.send(0, kGatherTagBase + v, std::span<const double>(mine));
+    return {};
+  }
+
+  std::vector<double> global(static_cast<std::size_t>(grid_.num_cells()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    const mesh::BlockExtents ext =
+        r == 0 ? my_extents_ : extents_for_rank(grid_, topo_, r);
+    std::vector<double> data;
+    if (r == 0) {
+      data = mine;
+    } else {
+      data.resize(static_cast<std::size_t>(ext.num_cells()));
+      comm_.recv(r, kGatherTagBase + v, std::span<double>(data));
+    }
+    std::size_t idx = 0;
+    for (long long k = ext.lo[2]; k < ext.hi[2]; ++k) {
+      for (long long j = ext.lo[1]; j < ext.hi[1]; ++j) {
+        for (long long i = ext.lo[0]; i < ext.hi[0]; ++i) {
+          global[static_cast<std::size_t>(
+              (k * grid_.extent(1) + j) * grid_.extent(0) + i)] =
+              data[idx++];
+        }
+      }
+    }
+  }
+  return global;
+}
+
+template class DistributedSolver<SrhdPhysics>;
+template class DistributedSolver<SrmhdPhysics>;
+
+}  // namespace rshc::solver

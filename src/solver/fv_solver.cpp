@@ -1,0 +1,524 @@
+#include "rshc/solver/fv_solver.hpp"
+
+#include <algorithm>
+
+namespace rshc::solver {
+
+// Per-block pencil work arrays, sized once for the longest axis.
+template <typename Physics>
+struct FvSolver<Physics>::Scratch {
+  // q/ql/qr: [var][pencil index]
+  std::array<std::vector<double>, Physics::kNumPrim> q;
+  std::array<std::vector<double>, Physics::kNumPrim> ql;
+  std::array<std::vector<double>, Physics::kNumPrim> qr;
+
+  explicit Scratch(int max_extent) {
+    for (int v = 0; v < Physics::kNumPrim; ++v) {
+      q[v].resize(static_cast<std::size_t>(max_extent));
+      ql[v].resize(static_cast<std::size_t>(max_extent));
+      qr[v].resize(static_cast<std::size_t>(max_extent));
+    }
+  }
+};
+
+template <typename Physics>
+FvSolver<Physics>::FvSolver(const mesh::Grid& grid, Options opt)
+    : grid_(grid),
+      opt_(opt),
+      ng_(recon::ghost_width(opt.recon)),
+      decomp_(grid_, opt.blocks) {
+  const int nb = decomp_.num_blocks();
+  blocks_.reserve(static_cast<std::size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    blocks_.emplace_back(grid_, decomp_.extents(b), ng_, Physics::kNumCons,
+                         Physics::kNumPrim);
+    const auto& blk = blocks_.back();
+    for (int a = 0; a < grid_.ndim(); ++a) {
+      RSHC_REQUIRE(blk.interior(a) >= ng_,
+                   "block too small for reconstruction stencil");
+    }
+    u0_.emplace_back(Physics::kNumCons, blk.total(2), blk.total(1),
+                     blk.total(0));
+    du_.emplace_back(Physics::kNumCons, blk.total(2), blk.total(1),
+                     blk.total(0));
+    const int max_extent =
+        std::max({blk.total(0), blk.total(1), blk.total(2)});
+    scratch_.push_back(std::make_unique<Scratch>(max_extent));
+  }
+  block_stats_.resize(static_cast<std::size_t>(nb));
+}
+
+template <typename Physics>
+FvSolver<Physics>::FvSolver(const mesh::Grid& grid, Options opt,
+                            mesh::BlockExtents sub)
+    : grid_(grid),
+      opt_(opt),
+      ng_(recon::ghost_width(opt.recon)),
+      decomp_(grid_, {1, 1, 1}),
+      restricted_(true) {
+  blocks_.emplace_back(grid_, sub, ng_, Physics::kNumCons,
+                       Physics::kNumPrim);
+  const auto& blk = blocks_.back();
+  for (int a = 0; a < grid_.ndim(); ++a) {
+    RSHC_REQUIRE(blk.interior(a) >= ng_,
+                 "rank block too small for reconstruction stencil");
+  }
+  u0_.emplace_back(Physics::kNumCons, blk.total(2), blk.total(1),
+                   blk.total(0));
+  du_.emplace_back(Physics::kNumCons, blk.total(2), blk.total(1),
+                   blk.total(0));
+  scratch_.push_back(std::make_unique<Scratch>(
+      std::max({blk.total(0), blk.total(1), blk.total(2)})));
+  block_stats_.resize(1);
+}
+
+template <typename Physics>
+FvSolver<Physics>::~FvSolver() = default;
+
+template <typename Physics>
+void FvSolver<Physics>::initialize(
+    const std::function<Prim(double, double, double)>& fn) {
+  for (auto& blk : blocks_) {
+    auto& w = blk.prim();
+    auto& u = blk.cons();
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const Prim p =
+              fn(blk.center(0, i), blk.center(1, j), blk.center(2, k));
+          Physics::store_prim(w, k, j, i, p);
+          Physics::store_cons(u, k, j, i, Physics::to_cons(p, opt_.physics));
+        }
+      }
+    }
+  }
+  fill_all_ghosts();
+  time_ = 0.0;
+  stats_ = {};
+}
+
+template <typename Physics>
+void FvSolver<Physics>::exchange_block(int b) {
+  if (ghost_filler_) {
+    ghost_filler_(b);
+    return;
+  }
+  RSHC_REQUIRE(!restricted_,
+               "restricted solver needs set_ghost_filler before stepping");
+  mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+  for (int axis = 0; axis < grid_.ndim(); ++axis) {
+    const bool periodic = opt_.bc.periodic(axis);
+    for (int side = 0; side < 2; ++side) {
+      const auto nbr = decomp_.neighbor(b, axis, side, periodic);
+      if (nbr.has_value()) {
+        mesh::copy_halo(blk, blocks_[static_cast<std::size_t>(*nbr)], axis,
+                        side);
+      } else {
+        const auto negate = Physics::reflect_negate_vars(axis);
+        mesh::apply_physical_boundary(
+            blk, axis, side, opt_.bc.type[static_cast<std::size_t>(axis)],
+            negate);
+      }
+    }
+  }
+}
+
+template <typename Physics>
+void FvSolver<Physics>::fill_all_ghosts() {
+  for (int b = 0; b < num_blocks(); ++b) exchange_block(b);
+}
+
+template <typename Physics>
+void FvSolver<Physics>::compute_rhs(int b) {
+  mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+  mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
+  Scratch& s = *scratch_[static_cast<std::size_t>(b)];
+  du.fill(0.0);
+
+  const auto& w = blk.prim();
+  for (int axis = 0; axis < grid_.ndim(); ++axis) {
+    const double inv_dx = 1.0 / grid_.dx(axis);
+    const int n = blk.total(axis);
+    // Transverse axes (interior ranges only; corners are never needed).
+    int a1 = -1;
+    int a2 = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (a == axis) continue;
+      (a1 < 0 ? a1 : a2) = a;
+    }
+
+    for (int t2 = blk.begin(a2); t2 < blk.end(a2); ++t2) {
+      for (int t1 = blk.begin(a1); t1 < blk.end(a1); ++t1) {
+        auto local = [&](int f) {
+          int idx[3];
+          idx[axis] = f;
+          idx[a1] = t1;
+          idx[a2] = t2;
+          return std::array<int, 3>{idx[0], idx[1], idx[2]};  // (i, j, k)
+        };
+
+        // Load the pencil and reconstruct every primitive variable.
+        for (int v = 0; v < Physics::kNumPrim; ++v) {
+          for (int f = 0; f < n; ++f) {
+            const auto c = local(f);
+            s.q[v][static_cast<std::size_t>(f)] = w(v, c[2], c[1], c[0]);
+          }
+          recon::reconstruct(opt_.recon,
+                             {s.q[v].data(), static_cast<std::size_t>(n)},
+                             {s.ql[v].data(), static_cast<std::size_t>(n)},
+                             {s.qr[v].data(), static_cast<std::size_t>(n)});
+        }
+
+        // Interfaces f+1/2 for f in [begin-1, end-1]: left state is the
+        // right face of cell f, right state the left face of cell f+1.
+        double comp[Physics::kNumPrim];
+        for (int f = blk.begin(axis) - 1; f < blk.end(axis); ++f) {
+          for (int v = 0; v < Physics::kNumPrim; ++v) {
+            comp[v] = s.qr[v][static_cast<std::size_t>(f)];
+          }
+          Prim wl = Physics::prim_from_components(comp);
+          for (int v = 0; v < Physics::kNumPrim; ++v) {
+            comp[v] = s.ql[v][static_cast<std::size_t>(f) + 1];
+          }
+          Prim wr = Physics::prim_from_components(comp);
+          Physics::limit_face_state(wl, opt_.physics);
+          Physics::limit_face_state(wr, opt_.physics);
+
+          const Cons flux =
+              Physics::interface_flux(wl, wr, axis, opt_.physics);
+
+          if (f >= blk.begin(axis)) {
+            const auto c = local(f);
+            Cons acc = Physics::load_cons(du, c[2], c[1], c[0]);
+            acc += (-inv_dx) * flux;
+            Physics::store_cons(du, c[2], c[1], c[0], acc);
+          }
+          if (f + 1 < blk.end(axis)) {
+            const auto c = local(f + 1);
+            Cons acc = Physics::load_cons(du, c[2], c[1], c[0]);
+            acc += inv_dx * flux;
+            Physics::store_cons(du, c[2], c[1], c[0], acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename Physics>
+void FvSolver<Physics>::update_block(int b, time::StageCoeffs coeffs,
+                                     double dt) {
+  mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+  const mesh::FieldArray& u0 = u0_[static_cast<std::size_t>(b)];
+  const mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
+  auto& u = blk.cons();
+  auto& w = blk.prim();
+  C2PStats stats;
+  for (int k = blk.begin(2); k < blk.end(2); ++k) {
+    for (int j = blk.begin(1); j < blk.end(1); ++j) {
+      for (int i = blk.begin(0); i < blk.end(0); ++i) {
+        const Cons ref = Physics::load_cons(u0, k, j, i);
+        const Cons cur = Physics::load_cons(u, k, j, i);
+        const Cons rhs = Physics::load_cons(du, k, j, i);
+        const Cons next =
+            coeffs.a * ref + coeffs.b * cur + (coeffs.c * dt) * rhs;
+        Physics::store_cons(u, k, j, i, next);
+        const Prim p = Physics::to_prim(next, opt_.physics, stats);
+        Physics::store_prim(w, k, j, i, p);
+        // Keep cons consistent when the atmosphere policy rewrote prims.
+        // (to_prim never throws; floored zones must not leave stale cons.)
+      }
+    }
+  }
+  block_stats_[static_cast<std::size_t>(b)] += stats;
+}
+
+template <typename Physics>
+void FvSolver<Physics>::save_state() {
+  for (int b = 0; b < num_blocks(); ++b) {
+    const auto src = blocks_[static_cast<std::size_t>(b)].cons().flat();
+    auto dst = u0_[static_cast<std::size_t>(b)].flat();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+template <typename Physics>
+void FvSolver<Physics>::post_step_all() {
+  for (int b = 0; b < num_blocks(); ++b) {
+    auto& blk = blocks_[static_cast<std::size_t>(b)];
+    Physics::post_step(blk.cons(), blk.prim(), opt_.physics, current_dt_,
+                       grid_.min_dx());
+  }
+  for (const auto& bs : block_stats_) stats_ += bs;
+  for (auto& bs : block_stats_) bs = {};
+}
+
+template <typename Physics>
+void FvSolver<Physics>::recover_all_prims() {
+  for (int b = 0; b < num_blocks(); ++b) {
+    auto& blk = blocks_[static_cast<std::size_t>(b)];
+    const auto& u = blk.cons();
+    auto& w = blk.prim();
+    C2PStats ignored;
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const Cons c = Physics::load_cons(u, k, j, i);
+          Physics::store_prim(w, k, j, i,
+                              Physics::to_prim(c, opt_.physics, ignored));
+        }
+      }
+    }
+  }
+  fill_all_ghosts();
+}
+
+template <typename Physics>
+double FvSolver<Physics>::compute_dt() const {
+  double vmax = 1e-30;
+  for (const auto& blk : blocks_) {
+    const auto& w = blk.prim();
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const Prim p = Physics::load_prim(w, k, j, i);
+          vmax = std::max(vmax,
+                          Physics::max_speed(p, opt_.physics, grid_.ndim()));
+        }
+      }
+    }
+  }
+  return opt_.cfl * grid_.min_dx() / vmax;
+}
+
+template <typename Physics>
+void FvSolver<Physics>::stage_serial(int stage, double dt) {
+  const auto coeffs = time::stage_coeffs(opt_.integrator, stage);
+  WallTimer t;
+  for (int b = 0; b < num_blocks(); ++b) exchange_block(b);
+  phases_.exchange += t.seconds();
+  t.reset();
+  for (int b = 0; b < num_blocks(); ++b) compute_rhs(b);
+  phases_.rhs += t.seconds();
+  t.reset();
+  for (int b = 0; b < num_blocks(); ++b) update_block(b, coeffs, dt);
+  phases_.update += t.seconds();
+}
+
+template <typename Physics>
+void FvSolver<Physics>::step(double dt) {
+  current_dt_ = dt;
+  WallTimer t;
+  save_state();
+  phases_.other += t.seconds();
+  for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
+    stage_serial(s, dt);
+  }
+  t.reset();
+  post_step_all();
+  phases_.other += t.seconds();
+  time_ += dt;
+}
+
+template <typename Physics>
+void FvSolver<Physics>::step_parallel(double dt, parallel::ThreadPool& pool,
+                                      bool dataflow) {
+  if (dataflow) {
+    current_dt_ = dt;
+    save_state();
+    step_graph(1).run(pool);
+    post_step_all();
+    time_ += dt;
+    return;
+  }
+  // Bulk-synchronous: a barrier after every phase of every stage.
+  current_dt_ = dt;
+  save_state();
+  const int nb = num_blocks();
+  for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
+    const auto coeffs = time::stage_coeffs(opt_.integrator, s);
+    pool.parallel_for(0, nb, [&](long long b) {
+      exchange_block(static_cast<int>(b));
+    });
+    pool.parallel_for(0, nb, [&](long long b) {
+      compute_rhs(static_cast<int>(b));
+      update_block(static_cast<int>(b), coeffs, dt);
+    });
+  }
+  post_step_all();
+  time_ += dt;
+}
+
+template <typename Physics>
+parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
+  if (graph_ && graph_steps_ == nsteps) return *graph_;
+  graph_ = std::make_unique<parallel::TaskGraph>();
+  graph_steps_ = nsteps;
+
+  using NodeId = parallel::TaskGraph::NodeId;
+  const int nb = num_blocks();
+  const int stages = time::num_stages(opt_.integrator);
+  std::vector<NodeId> prev_k;  // K nodes of the previous global stage
+  std::vector<NodeId> cur_e(static_cast<std::size_t>(nb));
+  std::vector<NodeId> cur_k(static_cast<std::size_t>(nb));
+
+  auto neighbors_of = [&](int b) {
+    std::vector<int> out;
+    for (int axis = 0; axis < grid_.ndim(); ++axis) {
+      for (int side = 0; side < 2; ++side) {
+        const auto nbr =
+            decomp_.neighbor(b, axis, side, opt_.bc.periodic(axis));
+        if (nbr.has_value() && *nbr != b) out.push_back(*nbr);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+
+  for (int step = 0; step < nsteps; ++step) {
+    for (int s = 0; s < stages; ++s) {
+      const bool step_start = (s == 0);
+      const bool step_end = (s == stages - 1);
+      const auto coeffs = time::stage_coeffs(opt_.integrator, s);
+      // E nodes: exchange+BC. Depend on previous-global-stage K of self and
+      // neighbours (empty for the very first stage: graph roots).
+      for (int b = 0; b < nb; ++b) {
+        std::vector<NodeId> deps;
+        if (!prev_k.empty()) {
+          deps.push_back(prev_k[static_cast<std::size_t>(b)]);
+          for (int nbr : neighbors_of(b)) {
+            deps.push_back(prev_k[static_cast<std::size_t>(nbr)]);
+          }
+        }
+        cur_e[static_cast<std::size_t>(b)] = graph_->add(
+            [this, b, step_start] {
+              if (step_start) {
+                // Per-block save of the RK reference state (dataflow keeps
+                // even this barrier-free).
+                const auto src =
+                    blocks_[static_cast<std::size_t>(b)].cons().flat();
+                auto dst = u0_[static_cast<std::size_t>(b)].flat();
+                std::copy(src.begin(), src.end(), dst.begin());
+              }
+              exchange_block(b);
+            },
+            deps);
+      }
+      // K nodes: rhs+update+c2p. Depend on own E and neighbours' E
+      // (anti-dependency: E(nbr) reads this block's prims).
+      for (int b = 0; b < nb; ++b) {
+        std::vector<NodeId> deps;
+        deps.push_back(cur_e[static_cast<std::size_t>(b)]);
+        for (int nbr : neighbors_of(b)) {
+          deps.push_back(cur_e[static_cast<std::size_t>(nbr)]);
+        }
+        cur_k[static_cast<std::size_t>(b)] = graph_->add(
+            [this, b, coeffs, step_end] {
+              compute_rhs(b);
+              update_block(b, coeffs, current_dt_);
+              if (step_end) {
+                auto& blk = blocks_[static_cast<std::size_t>(b)];
+                Physics::post_step(blk.cons(), blk.prim(), opt_.physics,
+                                   current_dt_, grid_.min_dx());
+              }
+            },
+            deps);
+      }
+      prev_k = cur_k;
+    }
+  }
+  return *graph_;
+}
+
+template <typename Physics>
+void FvSolver<Physics>::run_steps_dataflow(int nsteps, double dt,
+                                           parallel::ThreadPool& pool) {
+  current_dt_ = dt;
+  // save_state happens inside the first-stage E nodes (per block).
+  step_graph(nsteps).run(pool);
+  // post_step is folded into the last-stage K nodes.
+  for (const auto& bs : block_stats_) stats_ += bs;
+  for (auto& bs : block_stats_) bs = {};
+  time_ += dt * nsteps;
+}
+
+template <typename Physics>
+void FvSolver<Physics>::run_steps_bulksync(int nsteps, double dt,
+                                           parallel::ThreadPool& pool) {
+  for (int i = 0; i < nsteps; ++i) step_parallel(dt, pool, /*dataflow=*/false);
+}
+
+template <typename Physics>
+int FvSolver<Physics>::advance_to(double t_end, int max_steps) {
+  int steps = 0;
+  while (time_ < t_end && steps < max_steps) {
+    double dt = compute_dt();
+    if (time_ + dt > t_end) dt = t_end - time_;
+    step(dt);
+    ++steps;
+  }
+  return steps;
+}
+
+template <typename Physics>
+typename Physics::Prim FvSolver<Physics>::prim_at(long long gi, long long gj,
+                                                  long long gk) const {
+  for (const auto& blk : blocks_) {
+    const auto& e = blk.extents();
+    if (gi >= e.lo[0] && gi < e.hi[0] && gj >= e.lo[1] && gj < e.hi[1] &&
+        gk >= e.lo[2] && gk < e.hi[2]) {
+      const int i = static_cast<int>(gi - e.lo[0]) + blk.ghost(0);
+      const int j = static_cast<int>(gj - e.lo[1]) + blk.ghost(1);
+      const int k = static_cast<int>(gk - e.lo[2]) + blk.ghost(2);
+      return Physics::load_prim(blk.prim(), k, j, i);
+    }
+  }
+  RSHC_REQUIRE(false, "global cell index outside the grid");
+  return {};
+}
+
+template <typename Physics>
+std::vector<double> FvSolver<Physics>::gather_prim_var(int v) const {
+  std::vector<double> out(static_cast<std::size_t>(grid_.num_cells()));
+  for (const auto& blk : blocks_) {
+    const auto& e = blk.extents();
+    const auto& w = blk.prim();
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const long long gi = e.lo[0] + (i - blk.ghost(0));
+          const long long gj = e.lo[1] + (j - blk.ghost(1));
+          const long long gk = e.lo[2] + (k - blk.ghost(2));
+          const std::size_t idx = static_cast<std::size_t>(
+              (gk * grid_.extent(1) + gj) * grid_.extent(0) + gi);
+          out[idx] = w(v, k, j, i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+template <typename Physics>
+typename Physics::Cons FvSolver<Physics>::total_cons() const {
+  Cons total;
+  double vol = 1.0;
+  for (int a = 0; a < grid_.ndim(); ++a) vol *= grid_.dx(a);
+  for (const auto& blk : blocks_) {
+    const auto& u = blk.cons();
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          total += vol * Physics::load_cons(u, k, j, i);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+template class FvSolver<SrhdPhysics>;
+template class FvSolver<SrmhdPhysics>;
+
+}  // namespace rshc::solver

@@ -1,0 +1,108 @@
+#include "rshc/solver/offload.hpp"
+
+#include <array>
+#include <vector>
+
+#include "rshc/common/timer.hpp"
+#include "rshc/srhd/state.hpp"
+
+namespace rshc::solver {
+
+OffloadStats offload_cons_to_prim(device::Device& dev, mesh::Block& blk,
+                                  const SrhdPhysics::Context& ctx) {
+  OffloadStats stats;
+  const std::size_t n =
+      static_cast<std::size_t>(blk.interior(0)) *
+      static_cast<std::size_t>(blk.interior(1)) *
+      static_cast<std::size_t>(blk.interior(2));
+  stats.zones = n;
+
+  // Gather interior cons into contiguous staging arrays.
+  std::array<std::vector<double>, srhd::kNumVars> host_in;
+  std::array<std::vector<double>, srhd::kNumVars> host_out;
+  for (int v = 0; v < srhd::kNumVars; ++v) {
+    host_in[static_cast<std::size_t>(v)].resize(n);
+    host_out[static_cast<std::size_t>(v)].resize(n);
+  }
+  const auto& u = blk.cons();
+  std::size_t idx = 0;
+  for (int k = blk.begin(2); k < blk.end(2); ++k) {
+    for (int j = blk.begin(1); j < blk.end(1); ++j) {
+      for (int i = blk.begin(0); i < blk.end(0); ++i) {
+        for (int v = 0; v < srhd::kNumVars; ++v) {
+          host_in[static_cast<std::size_t>(v)][idx] = u(v, k, j, i);
+        }
+        ++idx;
+      }
+    }
+  }
+
+  // Stage through device buffers.
+  std::array<device::Buffer, srhd::kNumVars> in_buf;
+  std::array<device::Buffer, srhd::kNumVars> out_buf;
+  WallTimer timer;
+  for (int v = 0; v < srhd::kNumVars; ++v) {
+    in_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
+    out_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
+    dev.upload_async(host_in[static_cast<std::size_t>(v)],
+                     in_buf[static_cast<std::size_t>(v)]);
+  }
+  dev.synchronize();
+  stats.upload_seconds = timer.seconds();
+
+  // Launch the batch on the device's stream; variant by backend.
+  const bool scalar = dev.backend() == device::Backend::kHostScalar;
+  auto* d = in_buf[srhd::kD].device_view().data();
+  auto* sx = in_buf[srhd::kSx].device_view().data();
+  auto* sy = in_buf[srhd::kSy].device_view().data();
+  auto* sz = in_buf[srhd::kSz].device_view().data();
+  auto* tau = in_buf[srhd::kTau].device_view().data();
+  auto* rho = out_buf[srhd::kRho].device_view().data();
+  auto* vx = out_buf[srhd::kVx].device_view().data();
+  auto* vy = out_buf[srhd::kVy].device_view().data();
+  auto* vz = out_buf[srhd::kVz].device_view().data();
+  auto* p = out_buf[srhd::kP].device_view().data();
+  const double gamma = ctx.eos.gamma();
+  const auto opt = ctx.c2p;
+  srhd::kernels::BatchStats batch;
+  timer.reset();
+  dev.launch(
+      [=, &batch] {
+        batch = scalar
+                    ? srhd::kernels::scalar::cons_to_prim_n(
+                          n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
+                          opt)
+                    : srhd::kernels::simd::cons_to_prim_n(
+                          n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
+                          opt);
+      },
+      n);
+  dev.synchronize();
+  stats.kernel_seconds = timer.seconds();
+  stats.batch = batch;
+
+  timer.reset();
+  for (int v = 0; v < srhd::kNumVars; ++v) {
+    dev.download_async(out_buf[static_cast<std::size_t>(v)],
+                       host_out[static_cast<std::size_t>(v)]);
+  }
+  dev.synchronize();
+  stats.download_seconds = timer.seconds();
+
+  // Scatter primitives back into the block.
+  auto& w = blk.prim();
+  idx = 0;
+  for (int k = blk.begin(2); k < blk.end(2); ++k) {
+    for (int j = blk.begin(1); j < blk.end(1); ++j) {
+      for (int i = blk.begin(0); i < blk.end(0); ++i) {
+        for (int v = 0; v < srhd::kNumVars; ++v) {
+          w(v, k, j, i) = host_out[static_cast<std::size_t>(v)][idx];
+        }
+        ++idx;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace rshc::solver

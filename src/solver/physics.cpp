@@ -1,0 +1,43 @@
+#include "rshc/solver/physics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rshc::solver {
+namespace {
+
+/// Rescale a velocity vector to |v| <= vmax (< 1), preserving direction.
+template <typename P>
+void cap_velocity(P& w, double vmax) {
+  const double v2 = w.v_sq();
+  if (v2 >= vmax * vmax) {
+    const double scale = vmax / std::sqrt(v2);
+    w.vx *= scale;
+    w.vy *= scale;
+    w.vz *= scale;
+  }
+}
+
+}  // namespace
+
+void SrhdPhysics::limit_face_state(Prim& w, const Context& ctx) {
+  w.rho = std::max(w.rho, ctx.c2p.rho_floor);
+  w.p = std::max(w.p, ctx.c2p.p_floor);
+  cap_velocity(w, 1.0 - 1e-10);
+}
+
+void SrmhdPhysics::limit_face_state(Prim& w, const Context& ctx) {
+  w.rho = std::max(w.rho, ctx.c2p.rho_floor);
+  w.p = std::max(w.p, ctx.c2p.p_floor);
+  cap_velocity(w, 1.0 - 1e-10);
+}
+
+void SrmhdPhysics::post_step(mesh::FieldArray& cons, mesh::FieldArray& prim,
+                             const Context& ctx, double dt, double dx_min) {
+  const double factor = srmhd::glm_damping_factor(ctx.glm, dt, dx_min);
+  if (factor >= 1.0) return;
+  for (double& psi : cons.var(srmhd::kPsi)) psi *= factor;
+  for (double& psi : prim.var(srmhd::kPsi)) psi *= factor;
+}
+
+}  // namespace rshc::solver

@@ -1,0 +1,3 @@
+// Baseline (non-vectorized) kernel variants; compile flags set in CMake.
+#define RSHC_KERNEL_NS scalar
+#include "kernels_impl.inc"

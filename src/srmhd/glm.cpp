@@ -1,0 +1,12 @@
+#include "rshc/srmhd/glm.hpp"
+
+#include <cmath>
+
+namespace rshc::srmhd {
+
+double glm_damping_factor(const GlmParams& glm, double dt, double dx_min) {
+  if (!glm.enabled || glm.alpha <= 0.0) return 1.0;
+  return std::exp(-glm.alpha * glm.ch * dt / dx_min);
+}
+
+}  // namespace rshc::srmhd

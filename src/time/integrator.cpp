@@ -1,0 +1,27 @@
+#include "rshc/time/integrator.hpp"
+
+#include <string>
+
+#include "rshc/common/error.hpp"
+
+namespace rshc::time {
+
+std::string_view integrator_name(Integrator m) {
+  switch (m) {
+    case Integrator::kEuler: return "euler";
+    case Integrator::kSspRk2: return "ssprk2";
+    case Integrator::kSspRk3: return "ssprk3";
+  }
+  return "unknown";
+}
+
+Integrator parse_integrator(std::string_view name) {
+  if (name == "euler") return Integrator::kEuler;
+  if (name == "ssprk2" || name == "rk2") return Integrator::kSspRk2;
+  if (name == "ssprk3" || name == "rk3") return Integrator::kSspRk3;
+  RSHC_REQUIRE(false,
+               std::string("unknown integrator: ") + std::string(name));
+  return Integrator::kEuler;  // unreachable
+}
+
+}  // namespace rshc::time

@@ -1,0 +1,142 @@
+// Tests for the heterogeneous device layer: staging semantics, stream
+// ordering, events, and the accelerator cost model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rshc/common/error.hpp"
+#include "rshc/common/timer.hpp"
+#include "rshc/device/device.hpp"
+
+namespace {
+
+using namespace rshc::device;
+
+class AllBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(AllBackends, UploadDownloadRoundTrip) {
+  auto dev = make_device(GetParam());
+  std::vector<double> in(257);
+  std::iota(in.begin(), in.end(), 0.0);
+  Buffer buf = dev->alloc(in.size());
+  dev->upload_async(in, buf);
+  std::vector<double> out(in.size(), -1.0);
+  dev->download_async(buf, out);
+  dev->synchronize();
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(AllBackends, LaunchSeesUploadedData) {
+  auto dev = make_device(GetParam());
+  std::vector<double> in(100, 2.0);
+  Buffer buf = dev->alloc(in.size());
+  dev->upload_async(in, buf);
+  auto view = buf.device_view();
+  dev->launch([view] {
+    for (double& x : view) x *= 3.0;
+  });
+  std::vector<double> out(in.size());
+  dev->download_async(buf, out);
+  dev->synchronize();
+  for (const double x : out) EXPECT_DOUBLE_EQ(x, 6.0);
+}
+
+TEST_P(AllBackends, KernelsExecuteInSubmissionOrder) {
+  auto dev = make_device(GetParam());
+  Buffer buf = dev->alloc(1);
+  std::vector<double> one{1.0};
+  dev->upload_async(one, buf);
+  auto view = buf.device_view();
+  // (x + 1) * 10 != x * 10 + 1: order matters.
+  dev->launch([view] { view[0] += 1.0; });
+  dev->launch([view] { view[0] *= 10.0; });
+  std::vector<double> out(1);
+  dev->download_async(buf, out);
+  dev->synchronize();
+  EXPECT_DOUBLE_EQ(out[0], 20.0);
+}
+
+TEST_P(AllBackends, SizeMismatchThrows) {
+  auto dev = make_device(GetParam());
+  Buffer buf = dev->alloc(4);
+  std::vector<double> wrong(5);
+  EXPECT_THROW(dev->upload_async(wrong, buf), rshc::Error);
+  EXPECT_THROW(dev->download_async(buf, wrong), rshc::Error);
+}
+
+TEST_P(AllBackends, NamesAreDistinct) {
+  auto dev = make_device(GetParam());
+  EXPECT_EQ(dev->backend(), GetParam());
+  EXPECT_FALSE(dev->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AllBackends,
+                         ::testing::Values(Backend::kHostScalar,
+                                           Backend::kHostSimd,
+                                           Backend::kAccelSim));
+
+TEST(Device, HostBackendsNeedNoStaging) {
+  EXPECT_FALSE(make_device(Backend::kHostScalar)->requires_staging());
+  EXPECT_FALSE(make_device(Backend::kHostSimd)->requires_staging());
+  EXPECT_TRUE(make_device(Backend::kAccelSim)->requires_staging());
+}
+
+TEST(Device, EventsSignalCompletion) {
+  auto dev = make_device(Backend::kAccelSim);
+  std::atomic<bool> ran{false};
+  Event e = dev->launch([&ran] { ran.store(true); });
+  e.wait();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(e.query());
+}
+
+TEST(Device, AccelIsAsynchronous) {
+  AccelModel model;
+  model.launch_overhead_sec = 20e-3;
+  auto dev = make_device(Backend::kAccelSim, model);
+  rshc::WallTimer t;
+  Event e = dev->launch([] {}, /*work_items=*/1);
+  const double submit_time = t.seconds();
+  e.wait();
+  const double total_time = t.seconds();
+  // Submission returns immediately; completion pays the modeled overhead.
+  EXPECT_LT(submit_time, 0.010);
+  EXPECT_GE(total_time, 0.015);
+}
+
+TEST(Device, AccelTransferCostScalesWithBytes) {
+  AccelModel model;
+  model.transfer_latency_sec = 0.0;
+  model.transfer_bandwidth_bytes_per_sec = 1e8;  // deliberately slow: 100MB/s
+  auto dev = make_device(Backend::kAccelSim, model);
+  std::vector<double> big(1 << 17);  // 1 MiB -> ~10 ms at 100 MB/s
+  Buffer buf = dev->alloc(big.size());
+  rshc::WallTimer t;
+  dev->upload_async(big, buf);
+  dev->synchronize();
+  EXPECT_GE(t.seconds(), 0.008);
+}
+
+TEST(Device, UntimedLaunchSkipsOverhead) {
+  AccelModel model;
+  model.launch_overhead_sec = 50e-3;
+  auto dev = make_device(Backend::kAccelSim, model);
+  rshc::WallTimer t;
+  for (int i = 0; i < 5; ++i) {
+    dev->launch([] {}, /*work_items=*/0);
+  }
+  dev->synchronize();
+  EXPECT_LT(t.seconds(), 0.050);
+}
+
+TEST(Device, BuffersTrackOwningDevice) {
+  auto a = make_device(Backend::kHostScalar);
+  auto b = make_device(Backend::kHostScalar);
+  Buffer ba = a->alloc(1);
+  Buffer bb = b->alloc(1);
+  EXPECT_NE(ba.device_id(), bb.device_id());
+  EXPECT_EQ(ba.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Distributed (message-passing) solver: numerical equivalence with the
+// serial path, collective dt agreement, and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/analysis/norms.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/distributed.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+namespace {
+
+using namespace rshc;
+
+solver::SrhdSolver::Options base_opts(mesh::BcType bc) {
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.4;
+  opt.bc = mesh::BoundarySpec::all(bc);
+  opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+  return opt;
+}
+
+srhd::Prim wavy_ic(double x, double y, double) {
+  srhd::Prim w;
+  w.rho = 1.0 + 0.4 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y);
+  w.vx = 0.3;
+  w.vy = -0.15;
+  w.p = 1.0;
+  return w;
+}
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, MatchesSerialSolverBitwise2d) {
+  const int nranks = GetParam();
+  const mesh::Grid g = mesh::Grid::make_2d(24, 24, 0.0, 1.0, 0.0, 1.0);
+  const auto opt = base_opts(mesh::BcType::kPeriodic);
+  constexpr double kDt = 0.004;
+  constexpr int kSteps = 8;
+
+  // Serial reference.
+  solver::SrhdSolver ref(g, opt);
+  ref.initialize(wavy_ic);
+  for (int i = 0; i < kSteps; ++i) ref.step(kDt);
+  const auto rho_ref = ref.gather_prim_var(srhd::kRho);
+
+  std::vector<double> rho_dist;
+  comm::run_world(nranks, [&](comm::Communicator& c) {
+    solver::DistributedSrhdSolver s(g, c, opt);
+    s.initialize(wavy_ic);
+    for (int i = 0; i < kSteps; ++i) s.step(kDt);
+    auto gathered = s.gather_prim_var_root(srhd::kRho);
+    if (c.rank() == 0) rho_dist = std::move(gathered);
+  });
+
+  ASSERT_EQ(rho_dist.size(), rho_ref.size());
+  for (std::size_t i = 0; i < rho_ref.size(); ++i) {
+    EXPECT_EQ(rho_dist[i], rho_ref[i]) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(1, 2, 4));
+
+TEST(Distributed, AgreesWithSerialOnOutflowShockTube) {
+  const problems::ShockTube st = problems::sod();
+  const mesh::Grid g = mesh::Grid::make_1d(96, 0.0, 1.0);
+  auto opt = base_opts(mesh::BcType::kOutflow);
+  opt.physics.eos = eos::IdealGas(st.gamma);
+
+  solver::SrhdSolver ref(g, opt);
+  ref.initialize(problems::shock_tube_ic(st));
+  constexpr double kDt = 0.002;
+  for (int i = 0; i < 30; ++i) ref.step(kDt);
+  const auto rho_ref = ref.gather_prim_var(srhd::kRho);
+
+  std::vector<double> rho_dist;
+  comm::run_world(3, [&](comm::Communicator& c) {
+    solver::DistributedSrhdSolver s(g, c, opt);
+    s.initialize(problems::shock_tube_ic(st));
+    for (int i = 0; i < 30; ++i) s.step(kDt);
+    auto gathered = s.gather_prim_var_root(srhd::kRho);
+    if (c.rank() == 0) rho_dist = std::move(gathered);
+  });
+
+  ASSERT_EQ(rho_dist.size(), rho_ref.size());
+  for (std::size_t i = 0; i < rho_ref.size(); ++i) {
+    EXPECT_EQ(rho_dist[i], rho_ref[i]) << "cell " << i;
+  }
+}
+
+TEST(Distributed, DtIsGloballyAgreed) {
+  // Put the fastest zone on one rank only: every rank must still compute
+  // the same (global minimum) dt.
+  const mesh::Grid g = mesh::Grid::make_1d(64, 0.0, 1.0);
+  const auto opt = base_opts(mesh::BcType::kPeriodic);
+  std::vector<double> dts(2, -1.0);
+  comm::run_world(2, [&](comm::Communicator& c) {
+    solver::DistributedSrhdSolver s(g, c, opt);
+    s.initialize([](double x, double, double) {
+      srhd::Prim w;
+      w.rho = 1.0;
+      w.p = x < 0.5 ? 100.0 : 1e-4;  // hot half is much faster
+      return w;
+    });
+    dts[static_cast<std::size_t>(c.rank())] = s.compute_dt();
+  });
+  EXPECT_DOUBLE_EQ(dts[0], dts[1]);
+  EXPECT_GT(dts[0], 0.0);
+}
+
+TEST(Distributed, HaloTrafficIsAccounted) {
+  const mesh::Grid g = mesh::Grid::make_2d(16, 16, 0.0, 1.0, 0.0, 1.0);
+  const auto opt = base_opts(mesh::BcType::kPeriodic);
+  comm::World world(4);
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&world, &g, &opt, r] {
+      auto c = world.communicator(r);
+      solver::DistributedSrhdSolver s(g, c, opt);
+      s.initialize(wavy_ic);
+      s.step(0.004);
+    });
+  }
+  threads.clear();  // join
+  // 4 ranks x 2 axes x 2 sides x 3 RK stages = 48 halo messages per step
+  // (plus none for dt since we used a fixed dt).
+  EXPECT_GE(world.total_messages(), 48u);
+  EXPECT_GT(world.total_bytes(), 48u * 8);
+}
+
+TEST(Distributed, AdvanceToReachesFinalTime) {
+  const mesh::Grid g = mesh::Grid::make_1d(48, 0.0, 1.0);
+  const auto opt = base_opts(mesh::BcType::kPeriodic);
+  comm::run_world(2, [&](comm::Communicator& c) {
+    solver::DistributedSrhdSolver s(g, c, opt);
+    s.initialize(problems::smooth_wave_ic({}));
+    const int steps = s.advance_to(0.05);
+    EXPECT_GT(steps, 0);
+    EXPECT_NEAR(s.time(), 0.05, 1e-12);
+  });
+}
+
+TEST(DistributedMhd, MatchesSerialSrmhdBitwise) {
+  const mesh::Grid g = mesh::Grid::make_2d(16, 16, -0.5, 0.5, -0.5, 0.5);
+  solver::SrmhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.3;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+  const auto ic = problems::field_loop_ic({});
+  constexpr double kDt = 0.004;
+  constexpr int kSteps = 6;
+
+  solver::SrmhdSolver ref(g, opt);
+  ref.initialize(ic);
+  for (int i = 0; i < kSteps; ++i) ref.step(kDt);
+  const auto by_ref = ref.gather_prim_var(srmhd::kBy);
+
+  std::vector<double> by_dist;
+  comm::run_world(4, [&](comm::Communicator& c) {
+    solver::DistributedSrmhdSolver s(g, c, opt);
+    s.initialize(ic);
+    for (int i = 0; i < kSteps; ++i) s.step(kDt);
+    auto gathered = s.gather_prim_var_root(srmhd::kBy);
+    if (c.rank() == 0) by_dist = std::move(gathered);
+  });
+
+  ASSERT_EQ(by_dist.size(), by_ref.size());
+  for (std::size_t i = 0; i < by_ref.size(); ++i) {
+    EXPECT_EQ(by_dist[i], by_ref[i]) << "cell " << i;
+  }
+}
+
+TEST(Distributed, TopologyMatchesWorldSize) {
+  const mesh::Grid g = mesh::Grid::make_2d(16, 16, 0.0, 1.0, 0.0, 1.0);
+  const auto opt = base_opts(mesh::BcType::kPeriodic);
+  comm::run_world(4, [&](comm::Communicator& c) {
+    solver::DistributedSrhdSolver s(g, c, opt);
+    EXPECT_EQ(s.topology().size(), 4);
+    EXPECT_EQ(s.topology().dims()[0] * s.topology().dims()[1], 4);
+    EXPECT_GT(s.local_block().extents().num_cells(), 0);
+  });
+}
+
+}  // namespace

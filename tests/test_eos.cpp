@@ -1,0 +1,72 @@
+// Equation-of-state identities, swept across adiabatic indices.
+
+#include <gtest/gtest.h>
+
+#include "rshc/common/error.hpp"
+#include "rshc/eos/ideal_gas.hpp"
+
+namespace {
+
+using rshc::eos::IdealGas;
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, PressureEnergyInverse) {
+  const IdealGas eos(GetParam());
+  for (const double rho : {1e-8, 1.0, 42.0}) {
+    for (const double p : {1e-10, 0.1, 1000.0}) {
+      const double eps = eos.specific_internal_energy(rho, p);
+      EXPECT_NEAR(eos.pressure(rho, eps), p, 1e-12 * p);
+    }
+  }
+}
+
+TEST_P(GammaSweep, EnthalpyDecomposition) {
+  const IdealGas eos(GetParam());
+  const double rho = 2.0;
+  const double p = 5.0;
+  const double eps = eos.specific_internal_energy(rho, p);
+  EXPECT_NEAR(eos.enthalpy(rho, p), 1.0 + eps + p / rho, 1e-13);
+}
+
+TEST_P(GammaSweep, SoundSpeedIsSubluminal) {
+  const IdealGas eos(GetParam());
+  for (const double p_over_rho : {1e-6, 1.0, 1e6}) {
+    const double cs = eos.sound_speed(1.0, p_over_rho);
+    EXPECT_GT(cs, 0.0);
+    EXPECT_LT(cs, 1.0);
+    EXPECT_NEAR(cs * cs, eos.sound_speed_sq(1.0, p_over_rho), 1e-15);
+  }
+}
+
+TEST_P(GammaSweep, UltraRelativisticSoundSpeedLimit) {
+  const IdealGas eos(GetParam());
+  // As p/rho -> inf, cs^2 -> gamma - 1.
+  const double cs2 = eos.sound_speed_sq(1.0, 1e12);
+  EXPECT_NEAR(cs2, GetParam() - 1.0, 1e-9);
+}
+
+TEST_P(GammaSweep, PolytropeMatchesDirectPressure) {
+  const IdealGas eos(GetParam());
+  const double kappa = 0.7;
+  const double rho = 1.7;
+  EXPECT_NEAR(eos.polytropic_pressure(rho, kappa),
+              kappa * std::pow(rho, GetParam()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(4.0 / 3.0, 1.4, 5.0 / 3.0, 2.0));
+
+TEST(IdealGas, RejectsUnphysicalGamma) {
+  EXPECT_THROW(IdealGas(1.0), rshc::Error);
+  EXPECT_THROW(IdealGas(0.9), rshc::Error);
+  EXPECT_THROW(IdealGas(2.5), rshc::Error);
+  EXPECT_NO_THROW(IdealGas(2.0));
+}
+
+TEST(IdealGas, ColdLimitEnthalpyIsOne) {
+  const IdealGas eos(5.0 / 3.0);
+  EXPECT_NEAR(eos.enthalpy(1.0, 1e-15), 1.0, 1e-13);
+}
+
+}  // namespace

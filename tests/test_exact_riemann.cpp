@@ -1,0 +1,159 @@
+// Exact SRHD Riemann solver: star-state values against published numbers
+// (Marti & Mueller 2003), structural invariants, and wave-pattern cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/analysis/exact_riemann.hpp"
+#include "rshc/analysis/norms.hpp"
+#include "rshc/common/error.hpp"
+
+namespace {
+
+using rshc::analysis::ExactRiemann;
+using State = ExactRiemann::State;
+
+TEST(ExactRiemann, MartiMuller1StarState) {
+  // Published solution of MM problem 1 (Gamma = 5/3):
+  // p* ~ 1.448, v* ~ 0.714 (Marti & Mueller 2003, Fig. 5).
+  const ExactRiemann r({10.0, 0.0, 13.33}, {1.0, 0.0, 1e-7}, 5.0 / 3.0);
+  EXPECT_NEAR(r.p_star(), 1.448, 5e-3);
+  EXPECT_NEAR(r.v_star(), 0.714, 2e-3);
+  EXPECT_EQ(r.left_wave(), ExactRiemann::Wave::kRarefaction);
+  EXPECT_EQ(r.right_wave(), ExactRiemann::Wave::kShock);
+}
+
+TEST(ExactRiemann, MartiMuller2StarState) {
+  // Blast wave problem 2: p_L/p_R = 1e5; v* ~ 0.960 (W* ~ 3.6),
+  // p* ~ 18.6.
+  const ExactRiemann r({1.0, 0.0, 1000.0}, {1.0, 0.0, 0.01}, 5.0 / 3.0);
+  EXPECT_NEAR(r.v_star(), 0.960, 3e-3);
+  EXPECT_NEAR(r.p_star(), 18.6, 0.3);
+}
+
+TEST(ExactRiemann, SymmetricCollisionHasZeroContactVelocity) {
+  const ExactRiemann r({1.0, 0.5, 1.0}, {1.0, -0.5, 1.0}, 5.0 / 3.0);
+  EXPECT_NEAR(r.v_star(), 0.0, 1e-10);
+  EXPECT_EQ(r.left_wave(), ExactRiemann::Wave::kShock);
+  EXPECT_EQ(r.right_wave(), ExactRiemann::Wave::kShock);
+  EXPECT_GT(r.p_star(), 1.0);  // compression raises pressure
+}
+
+TEST(ExactRiemann, SymmetricExpansionMakesTwoRarefactions) {
+  const ExactRiemann r({1.0, -0.3, 1.0}, {1.0, 0.3, 1.0}, 5.0 / 3.0);
+  EXPECT_NEAR(r.v_star(), 0.0, 1e-10);
+  EXPECT_EQ(r.left_wave(), ExactRiemann::Wave::kRarefaction);
+  EXPECT_EQ(r.right_wave(), ExactRiemann::Wave::kRarefaction);
+  EXPECT_LT(r.p_star(), 1.0);
+}
+
+TEST(ExactRiemann, PureContactIsPreserved) {
+  // Equal p and v, different rho: only a contact; p* = p, v* = v.
+  const ExactRiemann r({5.0, 0.25, 2.0}, {1.0, 0.25, 2.0}, 5.0 / 3.0);
+  EXPECT_NEAR(r.p_star(), 2.0, 1e-9);
+  EXPECT_NEAR(r.v_star(), 0.25, 1e-10);
+  // Densities jump across the contact but match the inputs.
+  EXPECT_NEAR(r.sample(0.25 - 1e-6).rho, 5.0, 1e-6);
+  EXPECT_NEAR(r.sample(0.25 + 1e-6).rho, 1.0, 1e-6);
+}
+
+TEST(ExactRiemann, FarFieldReturnsInputStates) {
+  const ExactRiemann r({10.0, 0.0, 13.33}, {1.0, 0.0, 1e-7}, 5.0 / 3.0);
+  const State l = r.sample(-0.999);
+  EXPECT_NEAR(l.rho, 10.0, 1e-12);
+  EXPECT_NEAR(l.p, 13.33, 1e-12);
+  const State rr = r.sample(0.999);
+  EXPECT_NEAR(rr.rho, 1.0, 1e-12);
+  EXPECT_NEAR(rr.p, 1e-7, 1e-15);
+}
+
+TEST(ExactRiemann, AllWaveSpeedsAreCausalAndOrdered) {
+  const ExactRiemann r({1.0, 0.0, 1000.0}, {1.0, 0.0, 0.01}, 5.0 / 3.0);
+  // Scan the full fan: p must decrease monotonically through the left
+  // rarefaction and the solution must be continuous except at shock/contact.
+  double prev_p = 1000.0;
+  for (double xi = -0.99; xi < r.v_star(); xi += 0.01) {
+    const State s = r.sample(xi);
+    EXPECT_LE(s.p, prev_p + 1e-9);
+    EXPECT_GT(s.rho, 0.0);
+    EXPECT_LT(std::abs(s.v), 1.0);
+    prev_p = s.p;
+  }
+}
+
+TEST(ExactRiemann, ContactSeparatesStarDensities) {
+  const ExactRiemann r({10.0, 0.0, 13.33}, {1.0, 0.0, 1e-7}, 5.0 / 3.0);
+  const State sl = r.sample(r.v_star() - 1e-4);
+  const State sr = r.sample(r.v_star() + 1e-4);
+  EXPECT_NEAR(sl.p, r.p_star(), 1e-8);
+  EXPECT_NEAR(sr.p, r.p_star(), 1e-8);
+  EXPECT_NEAR(sl.v, r.v_star(), 1e-8);
+  // Density is discontinuous across the contact.
+  EXPECT_GT(std::abs(sl.rho - sr.rho), 0.1);
+}
+
+TEST(ExactRiemann, RarefactionFanIsSelfSimilarAndSmooth) {
+  const ExactRiemann r({10.0, 0.0, 13.33}, {1.0, 0.0, 1e-7}, 5.0 / 3.0);
+  // Sample pairs inside the left fan; velocity must increase with xi.
+  double prev_v = -1.0;
+  for (double xi = -0.6; xi < -0.2; xi += 0.02) {
+    const State s = r.sample(xi);
+    EXPECT_GT(s.v, prev_v);
+    prev_v = s.v;
+  }
+}
+
+TEST(ExactRiemann, MovingShockTube) {
+  // Boosted Sod-like problem: both states drifting right at 0.3.
+  const ExactRiemann r({1.0, 0.3, 1.0}, {0.125, 0.3, 0.1}, 1.4);
+  EXPECT_GT(r.v_star(), 0.3);  // expansion pushes the contact forward
+  EXPECT_LT(r.p_star(), 1.0);
+  EXPECT_GT(r.p_star(), 0.1);
+}
+
+TEST(ExactRiemann, RejectsBadInputs) {
+  EXPECT_THROW(ExactRiemann({1.0, 0.0, 1.0}, {1.0, 0.0, 1.0}, 1.0),
+               rshc::Error);
+  EXPECT_THROW(ExactRiemann({-1.0, 0.0, 1.0}, {1.0, 0.0, 1.0}, 1.4),
+               rshc::Error);
+  EXPECT_THROW(ExactRiemann({1.0, 1.5, 1.0}, {1.0, 0.0, 1.0}, 1.4),
+               rshc::Error);
+  EXPECT_THROW(ExactRiemann({1.0, 0.0, 0.0}, {1.0, 0.0, 1.0}, 1.4),
+               rshc::Error);
+}
+
+// --- norms ------------------------------------------------------------------
+
+TEST(Norms, BasicDefinitions) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.5, 1.0};
+  EXPECT_NEAR(rshc::analysis::l1_error(a, b), (0.0 + 0.5 + 2.0) / 3.0, 1e-14);
+  EXPECT_NEAR(rshc::analysis::l2_error(a, b),
+              std::sqrt((0.25 + 4.0) / 3.0), 1e-14);
+  EXPECT_NEAR(rshc::analysis::linf_error(a, b), 2.0, 1e-14);
+  EXPECT_THROW(
+      (void)rshc::analysis::l1_error(a, std::vector<double>{1.0}),
+      rshc::Error);
+}
+
+TEST(Norms, ConvergenceOrder) {
+  EXPECT_NEAR(rshc::analysis::convergence_order(4e-2, 1e-2), 2.0, 1e-12);
+  EXPECT_NEAR(rshc::analysis::convergence_order(8e-3, 1e-3, 2.0), 3.0,
+              1e-12);
+  EXPECT_THROW((void)rshc::analysis::convergence_order(0.0, 1.0),
+               rshc::Error);
+}
+
+TEST(Norms, GrowthRateRecoversExponential) {
+  std::vector<double> t;
+  std::vector<double> amp;
+  for (int i = 0; i <= 20; ++i) {
+    t.push_back(0.1 * i);
+    amp.push_back(1e-3 * std::exp(2.5 * 0.1 * i));
+  }
+  EXPECT_NEAR(rshc::analysis::growth_rate(t, amp), 2.5, 1e-10);
+  EXPECT_NEAR(rshc::analysis::linear_fit_slope(t, t), 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Coverage for the remaining small surfaces: the logger's level gate,
+// Event standalone semantics, Table CSV file round-trip, and the bench
+// helper conventions that other suites do not touch.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "rshc/common/error.hpp"
+#include "rshc/common/log.hpp"
+#include "rshc/common/table.hpp"
+#include "rshc/device/event.hpp"
+
+namespace {
+
+using namespace rshc;
+
+TEST(Log, LevelGateRoundTrips) {
+  const auto before = log::level();
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(log::level(), log::Level::kWarn);
+  // Below-threshold messages are dropped before formatting; this must not
+  // crash or emit (we can only assert it returns).
+  log::debug("dropped ", 42);
+  log::info("dropped too");
+  log::set_level(log::Level::kOff);
+  log::error("also dropped at kOff");
+  log::set_level(before);
+}
+
+TEST(Log, EmitsAboveThreshold) {
+  const auto before = log::level();
+  log::set_level(log::Level::kDebug);
+  // Smoke: all levels format & write without throwing.
+  log::debug("d", 1);
+  log::info("i", 2.5);
+  log::warn("w ", std::string("str"));
+  log::error("e");
+  log::set_level(before);
+}
+
+TEST(Event, SetBeforeWaitDoesNotBlock) {
+  device::Event e;
+  EXPECT_FALSE(e.query());
+  e.set();
+  EXPECT_TRUE(e.query());
+  e.wait();  // must return immediately
+}
+
+TEST(Event, CrossThreadSignal) {
+  device::Event e;
+  std::jthread t([e] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    e.set();
+  });
+  e.wait();
+  EXPECT_TRUE(e.query());
+}
+
+TEST(Event, CopiesShareState) {
+  device::Event a;
+  device::Event b = a;  // shared completion state
+  a.set();
+  EXPECT_TRUE(b.query());
+}
+
+TEST(Table, CsvFileRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({1.5, std::string("x")});
+  const std::string path =
+      std::string(::testing::TempDir()) + "/table_roundtrip.csv";
+  t.write_csv_file(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1.5,x");
+}
+
+TEST(Table, CsvFileFailureThrows) {
+  Table t({"a"});
+  t.add_row({1.0});
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/zzz/t.csv"), Error);
+}
+
+}  // namespace

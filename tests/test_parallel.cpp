@@ -1,0 +1,206 @@
+// Unit tests for the shared-memory runtime: ThreadPool and TaskGraph.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "rshc/common/error.hpp"
+#include "rshc/parallel/task_graph.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace rshc::parallel;
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("bang"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+class ParallelForSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, long long>> {};
+
+TEST_P(ParallelForSweep, CoversEveryIndexExactlyOnce) {
+  const auto [threads, n] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(0, n, [&](long long i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (long long i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelForSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1LL, 7LL, 64LL, 1000LL)));
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](long long) { ++calls; });
+  pool.parallel_for(5, 3, [&](long long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForRespectsGrain) {
+  ThreadPool pool(2);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(0, 100, [&](long long i) { sum.fetch_add(i); }, 16);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A 1-thread pool is the worst case: the outer loop body itself calls
+  // parallel_for from the only worker thread.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](long long) {
+    pool.parallel_for(0, 8, [&](long long) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](long long i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("at 37");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RequiresAtLeastOneWorker) {
+  EXPECT_THROW(ThreadPool(0), rshc::Error);
+}
+
+TEST(TaskGraph, RunsAllNodes) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    g.add([&count] { count.fetch_add(1); });
+  }
+  g.run(pool);
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(g.size(), 10u);
+}
+
+TEST(TaskGraph, RespectsChainOrder) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex m;
+  auto note = [&](int id) {
+    std::scoped_lock lock(m);
+    order.push_back(id);
+  };
+  const auto a = g.add([&] { note(0); });
+  const auto b = g.add([&] { note(1); }, {a});
+  g.add([&] { note(2); }, {b});
+  g.run(pool);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::atomic<int> top_done{0};
+  std::atomic<int> mids_done{0};
+  std::atomic<bool> bottom_saw_both{false};
+  const auto top = g.add([&] { top_done.store(1); });
+  const auto l = g.add(
+      [&] {
+        EXPECT_EQ(top_done.load(), 1);
+        mids_done.fetch_add(1);
+      },
+      {top});
+  const auto r = g.add(
+      [&] {
+        EXPECT_EQ(top_done.load(), 1);
+        mids_done.fetch_add(1);
+      },
+      {top});
+  g.add([&] { bottom_saw_both.store(mids_done.load() == 2); }, {l, r});
+  g.run(pool);
+  EXPECT_TRUE(bottom_saw_both.load());
+}
+
+TEST(TaskGraph, ReRunnable) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<int> count{0};
+  const auto a = g.add([&] { count.fetch_add(1); });
+  g.add([&] { count.fetch_add(10); }, {a});
+  g.run(pool);
+  g.run(pool);
+  g.run(pool);
+  EXPECT_EQ(count.load(), 33);
+}
+
+TEST(TaskGraph, ForwardDependenciesRejected) {
+  TaskGraph g;
+  const auto a = g.add([] {});
+  (void)a;
+  // Depending on a node that does not exist yet (id >= current) must throw.
+  EXPECT_THROW(g.add([] {}, {TaskGraph::NodeId{5}}), rshc::Error);
+}
+
+TEST(TaskGraph, ExceptionIsRethrownAfterDrain) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  std::atomic<int> ran{0};
+  const auto a = g.add([] { throw std::runtime_error("node failed"); });
+  g.add([&] { ran.fetch_add(1); }, {a});
+  EXPECT_THROW(g.run(pool), std::runtime_error);
+  // Downstream node still ran (failure policy documented in the header).
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskGraph, EmptyGraphRuns) {
+  ThreadPool pool(1);
+  TaskGraph g;
+  EXPECT_NO_THROW(g.run(pool));
+}
+
+TEST(TaskGraph, WideFanOutAndIn) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::atomic<long long> sum{0};
+  const auto root = g.add([] {});
+  std::vector<TaskGraph::NodeId> mids;
+  for (long long i = 1; i <= 64; ++i) {
+    mids.push_back(g.add([&sum, i] { sum.fetch_add(i); }, {root}));
+  }
+  std::atomic<long long> total{-1};
+  g.add([&] { total.store(sum.load()); },
+        std::span<const TaskGraph::NodeId>(mids));
+  g.run(pool);
+  EXPECT_EQ(total.load(), 64 * 65 / 2);
+}
+
+}  // namespace

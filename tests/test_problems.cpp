@@ -1,0 +1,112 @@
+// Initial-condition library: membrane placement, perturbation structure,
+// analytic divergence-free fields, and published parameter values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/problems/problems.hpp"
+
+namespace {
+
+using namespace rshc;
+using namespace rshc::problems;
+
+TEST(Problems, ShockTubeMembraneSplitsStates) {
+  const ShockTube st = marti_muller_1();
+  const auto ic = shock_tube_ic(st);
+  EXPECT_DOUBLE_EQ(ic(0.1, 0, 0).rho, 10.0);
+  EXPECT_DOUBLE_EQ(ic(0.9, 0, 0).rho, 1.0);
+  EXPECT_DOUBLE_EQ(ic(0.1, 0, 0).p, 13.33);
+  EXPECT_DOUBLE_EQ(ic(0.9, 0, 0).p, 1e-7);
+}
+
+TEST(Problems, PublishedParameterValues) {
+  const ShockTube mm2 = marti_muller_2();
+  EXPECT_DOUBLE_EQ(mm2.left.p, 1000.0);
+  EXPECT_DOUBLE_EQ(mm2.right.p, 0.01);
+  EXPECT_DOUBLE_EQ(mm2.gamma, 5.0 / 3.0);
+  const ShockTube s = sod();
+  EXPECT_DOUBLE_EQ(s.left.rho / s.right.rho, 8.0);
+  EXPECT_DOUBLE_EQ(s.gamma, 1.4);
+  const MhdShockTube b1 = balsara_1();
+  EXPECT_DOUBLE_EQ(b1.left.bx, b1.right.bx);  // Bx continuous
+  EXPECT_DOUBLE_EQ(b1.left.by, 1.0);
+  EXPECT_DOUBLE_EQ(b1.right.by, -1.0);
+  EXPECT_DOUBLE_EQ(b1.gamma, 2.0);
+}
+
+TEST(Problems, SmoothWaveHasExactSolution) {
+  const SmoothWave w{};
+  const auto ic = smooth_wave_ic(w);
+  // At t = 0 the exact solution equals the IC.
+  for (const double x : {0.0, 0.21, 0.5, 0.83}) {
+    EXPECT_NEAR(ic(x, 0, 0).rho, smooth_wave_exact_rho(w, x, 0.0), 1e-14);
+    EXPECT_DOUBLE_EQ(ic(x, 0, 0).vx, w.velocity);
+    EXPECT_DOUBLE_EQ(ic(x, 0, 0).p, w.pressure);
+  }
+  // One full period returns the profile (periodic domain [0, 1]).
+  const double t_period = 1.0 / w.velocity;
+  EXPECT_NEAR(smooth_wave_exact_rho(w, 0.3, t_period),
+              smooth_wave_exact_rho(w, 0.3, 0.0), 1e-12);
+  // Density never goes negative.
+  EXPECT_LT(w.amplitude, w.rho0);
+}
+
+TEST(Problems, KelvinHelmholtzShearAndPerturbation) {
+  const KelvinHelmholtz kh{};
+  const auto ic = kelvin_helmholtz_ic(kh);
+  // Double layer: inner band (|y| < 1/4) streams at +v_sh, the outer band
+  // at -v_sh, and the profile matches across the periodic y-boundary.
+  EXPECT_NEAR(ic(0.0, 0.0, 0).vx, kh.shear_velocity, 1e-3);
+  EXPECT_NEAR(ic(0.0, 0.45, 0).vx, -kh.shear_velocity, 1e-2);
+  EXPECT_NEAR(ic(0.0, -0.45, 0).vx, -kh.shear_velocity, 1e-2);
+  EXPECT_NEAR(ic(0.0, 0.5, 0).vx, ic(0.0, -0.5, 0).vx, 1e-10);
+  // Perturbation peaks on the layers and is bounded by the amplitude.
+  EXPECT_NEAR(ic(0.25, 0.25, 0).vy,
+              kh.perturb_amplitude * kh.shear_velocity, 2e-5);
+  EXPECT_LT(std::abs(ic(0.25, 0.5, 0).vy),
+            kh.perturb_amplitude * kh.shear_velocity);
+  // Velocity stays subluminal everywhere.
+  for (double y = -0.5; y <= 0.5; y += 0.05) {
+    const auto p = ic(0.25, y, 0);
+    EXPECT_LT(p.v_sq(), 1.0);
+  }
+}
+
+TEST(Problems, Blast2dIsRadiallySymmetric) {
+  const Blast2d b{};
+  const auto ic = blast2d_ic(b);
+  EXPECT_DOUBLE_EQ(ic(0.05, 0.05, 0).p, b.p_inner);
+  EXPECT_DOUBLE_EQ(ic(0.5, 0.5, 0).p, b.p_outer);
+  // Same radius, different direction: same state.
+  EXPECT_DOUBLE_EQ(ic(0.09, 0.0, 0).p, ic(0.0, 0.09, 0).p);
+}
+
+TEST(Problems, FieldLoopIsDivergenceFreeAnalytically) {
+  const FieldLoop fl{};
+  const auto ic = field_loop_ic(fl);
+  // B = A0 (-y/r, x/r): div B = A0 d/dx(-y/r) + A0 d/dy(x/r)
+  //                          = A0 (xy/r^3) + A0 (-xy/r^3) = 0.
+  // Verify numerically away from the loop edge and center.
+  const double h = 1e-6;
+  for (const auto& [x, y] : {std::pair{0.1, 0.05}, std::pair{-0.12, 0.2}}) {
+    const double dbx_dx = (ic(x + h, y, 0).bx - ic(x - h, y, 0).bx) / (2 * h);
+    const double dby_dy = (ic(x, y + h, 0).by - ic(x, y - h, 0).by) / (2 * h);
+    EXPECT_NEAR(dbx_dx + dby_dy, 0.0, 1e-6);
+  }
+  // Field magnitude is constant inside the loop, zero outside.
+  EXPECT_NEAR(std::hypot(ic(0.1, 0.1, 0).bx, ic(0.1, 0.1, 0).by), fl.field,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ic(0.4, 0.4, 0).bx, 0.0);
+}
+
+TEST(Problems, MhdBlastHasUniformField) {
+  const MhdBlast2d b{};
+  const auto ic = mhd_blast2d_ic(b);
+  EXPECT_DOUBLE_EQ(ic(0.0, 0.0, 0).bx, b.bx);
+  EXPECT_DOUBLE_EQ(ic(0.9, 0.9, 0).bx, b.bx);
+  EXPECT_DOUBLE_EQ(ic(0.0, 0.0, 0).p, b.p_inner);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Integration tests of the SRHD finite-volume solver: conservation,
+// accuracy against exact solutions, and bit-equivalence of every execution
+// mode (serial / bulk-synchronous / dataflow / multi-block).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/analysis/exact_riemann.hpp"
+#include "rshc/common/math.hpp"
+#include "rshc/analysis/norms.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+namespace {
+
+using namespace rshc;
+using solver::SrhdSolver;
+
+SrhdSolver::Options periodic_opts() {
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.4;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+  return opt;
+}
+
+TEST(SrhdSolver, StaticGasStaysStatic) {
+  const mesh::Grid g = mesh::Grid::make_1d(32, 0.0, 1.0);
+  SrhdSolver s(g, periodic_opts());
+  s.initialize([](double, double, double) {
+    return srhd::Prim{1.0, 0.0, 0.0, 0.0, 1.0};
+  });
+  for (int i = 0; i < 10; ++i) s.step(0.005);
+  const auto rho = s.gather_prim_var(srhd::kRho);
+  for (const double r : rho) EXPECT_NEAR(r, 1.0, 1e-12);
+  EXPECT_NEAR(s.time(), 0.05, 1e-14);
+}
+
+TEST(SrhdSolver, PeriodicAdvectionConservesExactly) {
+  const mesh::Grid g = mesh::Grid::make_1d(64, 0.0, 1.0);
+  SrhdSolver s(g, periodic_opts());
+  s.initialize(problems::smooth_wave_ic({}));
+  const auto before = s.total_cons();
+  for (int i = 0; i < 50; ++i) s.step(s.compute_dt());
+  const auto after = s.total_cons();
+  EXPECT_NEAR(after.d, before.d, 1e-12 * std::abs(before.d));
+  EXPECT_NEAR(after.sx, before.sx, 1e-12 * std::abs(before.sx));
+  EXPECT_NEAR(after.tau, before.tau, 1e-11 * std::abs(before.tau));
+}
+
+TEST(SrhdSolver, SmoothWaveAdvectsAtTheRightSpeed) {
+  const problems::SmoothWave wave{};
+  const mesh::Grid g = mesh::Grid::make_1d(128, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.recon = recon::Method::kWENO5;
+  SrhdSolver s(g, opt);
+  s.initialize(problems::smooth_wave_ic(wave));
+  const double t_end = 0.4;
+  s.advance_to(t_end);
+  const auto rho = s.gather_prim_var(srhd::kRho);
+  std::vector<double> exact(rho.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    exact[i] = problems::smooth_wave_exact_rho(
+        wave, g.cell_center(0, static_cast<long long>(i)), s.time());
+  }
+  EXPECT_LT(analysis::l1_error(rho, exact), 2e-5);
+}
+
+TEST(SrhdSolver, HigherResolutionReducesError) {
+  const problems::SmoothWave wave{};
+  auto run = [&](long long n) {
+    const mesh::Grid g = mesh::Grid::make_1d(n, 0.0, 1.0);
+    auto opt = periodic_opts();
+    opt.recon = recon::Method::kPLMMC;
+    SrhdSolver s(g, opt);
+    s.initialize(problems::smooth_wave_ic(wave));
+    s.advance_to(0.2);
+    const auto rho = s.gather_prim_var(srhd::kRho);
+    std::vector<double> exact(rho.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      exact[i] = problems::smooth_wave_exact_rho(
+          wave, g.cell_center(0, static_cast<long long>(i)), s.time());
+    }
+    return analysis::l1_error(rho, exact);
+  };
+  const double e32 = run(32);
+  const double e64 = run(64);
+  const double e128 = run(128);
+  EXPECT_GT(analysis::convergence_order(e32, e64), 1.5);
+  EXPECT_GT(analysis::convergence_order(e64, e128), 1.5);
+}
+
+TEST(SrhdSolver, ShockTubeMatchesExactSolution) {
+  const problems::ShockTube st = problems::marti_muller_1();
+  const mesh::Grid g = mesh::Grid::make_1d(200, 0.0, 1.0);
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kOutflow);
+  opt.physics.eos = eos::IdealGas(st.gamma);
+  opt.physics.riemann = riemann::Solver::kHLLC;
+  SrhdSolver s(g, opt);
+  s.initialize(problems::shock_tube_ic(st));
+  s.advance_to(st.t_final);
+
+  const analysis::ExactRiemann exact({st.left.rho, st.left.vx, st.left.p},
+                                     {st.right.rho, st.right.vx, st.right.p},
+                                     st.gamma);
+  const auto rho = s.gather_prim_var(srhd::kRho);
+  std::vector<double> ref(rho.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = exact
+                 .sample((g.cell_center(0, static_cast<long long>(i)) -
+                          st.x_split) /
+                         st.t_final)
+                 .rho;
+  }
+  EXPECT_LT(analysis::l1_error(rho, ref), 0.12);
+  EXPECT_EQ(s.c2p_stats().floored_zones, 0);
+}
+
+TEST(SrhdSolver, ReflectingWallsConserveMass) {
+  const mesh::Grid g = mesh::Grid::make_1d(64, 0.0, 1.0);
+  SrhdSolver::Options opt = periodic_opts();
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kReflect);
+  SrhdSolver s(g, opt);
+  // Gas sloshing against the walls.
+  s.initialize([](double x, double, double) {
+    return srhd::Prim{1.0, 0.3 * std::sin(M_PI * x), 0.0, 0.0, 1.0};
+  });
+  const double mass0 = s.total_cons().d;
+  for (int i = 0; i < 40; ++i) s.step(s.compute_dt());
+  EXPECT_NEAR(s.total_cons().d, mass0, 1e-11 * mass0);
+}
+
+// --- execution-mode equivalence ---------------------------------------------
+
+std::vector<double> run_mode(int blocks_x, int blocks_y, int mode,
+                             int threads) {
+  const mesh::Grid g = mesh::Grid::make_2d(24, 24, 0.0, 1.0, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.blocks = {blocks_x, blocks_y, 1};
+  SrhdSolver s(g, opt);
+  s.initialize([](double x, double y, double) {
+    srhd::Prim w;
+    w.rho = 1.0 + 0.4 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y);
+    w.vx = 0.3;
+    w.vy = -0.2;
+    w.p = 1.0;
+    return w;
+  });
+  parallel::ThreadPool pool(static_cast<unsigned>(threads));
+  const double dt = 0.004;
+  for (int i = 0; i < 12; ++i) {
+    switch (mode) {
+      case 0: s.step(dt); break;
+      case 1: s.step_parallel(dt, pool, /*dataflow=*/false); break;
+      case 2: s.step_parallel(dt, pool, /*dataflow=*/true); break;
+      default: break;
+    }
+  }
+  return s.gather_prim_var(srhd::kRho);
+}
+
+TEST(SrhdSolverModes, BulkSyncMatchesSerialBitwise) {
+  const auto serial = run_mode(2, 2, 0, 1);
+  const auto bulk = run_mode(2, 2, 1, 3);
+  ASSERT_EQ(serial.size(), bulk.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], bulk[i]) << "cell " << i;
+  }
+}
+
+TEST(SrhdSolverModes, DataflowMatchesSerialBitwise) {
+  const auto serial = run_mode(2, 2, 0, 1);
+  const auto flow = run_mode(2, 2, 2, 3);
+  ASSERT_EQ(serial.size(), flow.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], flow[i]) << "cell " << i;
+  }
+}
+
+TEST(SrhdSolverModes, BlockCountDoesNotChangeTheAnswer) {
+  const auto one = run_mode(1, 1, 0, 1);
+  const auto many = run_mode(3, 2, 0, 1);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_NEAR(one[i], many[i], 1e-13) << "cell " << i;
+  }
+}
+
+TEST(SrhdSolverModes, MultiStepDataflowGraphMatchesStepwise) {
+  const mesh::Grid g = mesh::Grid::make_2d(16, 16, 0.0, 1.0, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.blocks = {2, 2, 1};
+  auto ic = [](double x, double y, double) {
+    return srhd::Prim{1.0 + 0.3 * std::sin(2 * M_PI * (x + y)), 0.25, 0.1,
+                      0.0, 1.0};
+  };
+  parallel::ThreadPool pool(2);
+  SrhdSolver a(g, opt);
+  a.initialize(ic);
+  a.run_steps_dataflow(6, 0.005, pool);
+
+  SrhdSolver b(g, opt);
+  b.initialize(ic);
+  for (int i = 0; i < 6; ++i) b.step(0.005);
+
+  const auto ra = a.gather_prim_var(srhd::kRho);
+  const auto rb = b.gather_prim_var(srhd::kRho);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rb[i]) << "cell " << i;
+  }
+  EXPECT_NEAR(a.time(), b.time(), 1e-15);
+}
+
+TEST(SrhdSolver, TwoDimensionalConservation) {
+  const mesh::Grid g = mesh::Grid::make_2d(20, 20, 0.0, 1.0, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.blocks = {2, 2, 1};
+  SrhdSolver s(g, opt);
+  s.initialize([](double x, double y, double) {
+    srhd::Prim w;
+    w.rho = 1.0 + 0.5 * std::exp(-50.0 * (rshc::sq(x - 0.5) + rshc::sq(y - 0.5)));
+    w.p = 1.0;
+    w.vx = 0.2;
+    return w;
+  });
+  const auto before = s.total_cons();
+  for (int i = 0; i < 20; ++i) s.step(s.compute_dt());
+  const auto after = s.total_cons();
+  EXPECT_NEAR(after.d, before.d, 1e-11 * before.d);
+  EXPECT_NEAR(after.tau, before.tau, 1e-10 * std::abs(before.tau));
+}
+
+TEST(SrhdSolver, ComputeDtScalesWithResolution) {
+  auto opt = periodic_opts();
+  const mesh::Grid g1 = mesh::Grid::make_1d(32, 0.0, 1.0);
+  const mesh::Grid g2 = mesh::Grid::make_1d(64, 0.0, 1.0);
+  SrhdSolver s1(g1, opt);
+  SrhdSolver s2(g2, opt);
+  const auto ic = problems::smooth_wave_ic({});
+  s1.initialize(ic);
+  s2.initialize(ic);
+  EXPECT_NEAR(s1.compute_dt() / s2.compute_dt(), 2.0, 0.05);
+}
+
+TEST(SrhdSolver, PrimAtReadsTheRightCell) {
+  const mesh::Grid g = mesh::Grid::make_2d(8, 8, 0.0, 1.0, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.blocks = {2, 2, 1};
+  SrhdSolver s(g, opt);
+  s.initialize([](double x, double y, double) {
+    return srhd::Prim{1.0 + x + 10.0 * y, 0.0, 0.0, 0.0, 1.0};
+  });
+  const auto p = s.prim_at(5, 6);
+  EXPECT_NEAR(p.rho, 1.0 + g.cell_center(0, 5) + 10.0 * g.cell_center(1, 6),
+              1e-13);
+  EXPECT_THROW((void)s.prim_at(100, 0), Error);
+}
+
+TEST(SrhdSolver, RejectsBlocksSmallerThanStencil) {
+  const mesh::Grid g = mesh::Grid::make_1d(8, 0.0, 1.0);
+  auto opt = periodic_opts();
+  opt.recon = recon::Method::kWENO5;  // ghost width 3
+  opt.blocks = {4, 1, 1};             // 2 cells per block < 3
+  EXPECT_THROW(SrhdSolver(g, opt), Error);
+}
+
+}  // namespace

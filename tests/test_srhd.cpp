@@ -1,0 +1,224 @@
+// SRHD physics: prim<->cons maps, fluxes, characteristic speeds, and the
+// con2prim root solver (roundtrip property sweep up to Lorentz factor 50).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/srhd/con2prim.hpp"
+#include "rshc/srhd/state.hpp"
+
+namespace {
+
+using namespace rshc;
+using srhd::Cons;
+using srhd::Prim;
+
+const eos::IdealGas kEos(5.0 / 3.0);
+
+TEST(SrhdState, ConsOfStaticGasIsRestFrame) {
+  const Prim w{2.0, 0.0, 0.0, 0.0, 1.5};
+  const Cons u = srhd::prim_to_cons(w, kEos);
+  EXPECT_DOUBLE_EQ(u.d, 2.0);
+  EXPECT_DOUBLE_EQ(u.sx, 0.0);
+  EXPECT_DOUBLE_EQ(u.sy, 0.0);
+  EXPECT_DOUBLE_EQ(u.sz, 0.0);
+  // tau = rho h - p - rho = rho eps + ... for static gas: tau = rho eps.
+  const double eps = kEos.specific_internal_energy(2.0, 1.5);
+  EXPECT_NEAR(u.tau, 2.0 * eps, 1e-13);
+}
+
+TEST(SrhdState, LorentzFactorMatchesVelocity) {
+  Prim w;
+  w.vx = 0.6;
+  w.vy = 0.0;
+  w.vz = 0.0;
+  EXPECT_NEAR(w.lorentz(), 1.25, 1e-14);
+  w.vy = 0.6;
+  EXPECT_NEAR(w.lorentz(), 1.0 / std::sqrt(1.0 - 0.72), 1e-14);
+}
+
+TEST(SrhdState, EnergyFluxIdentity) {
+  // F(tau) = S_d - D v_d must hold for every axis and state.
+  const Prim w{1.3, 0.4, -0.2, 0.1, 0.9};
+  const Cons u = srhd::prim_to_cons(w, kEos);
+  for (int axis = 0; axis < 3; ++axis) {
+    const Cons f = srhd::flux(w, u, axis);
+    EXPECT_NEAR(f.tau, u.s(axis) - u.d * w.v(axis), 1e-13);
+    EXPECT_NEAR(f.d, u.d * w.v(axis), 1e-13);
+  }
+}
+
+TEST(SrhdState, MomentumFluxCarriesPressureOnDiagonal) {
+  const Prim w{1.0, 0.0, 0.0, 0.0, 2.5};
+  const Cons u = srhd::prim_to_cons(w, kEos);
+  const Cons fx = srhd::flux(w, u, 0);
+  EXPECT_DOUBLE_EQ(fx.sx, 2.5);
+  EXPECT_DOUBLE_EQ(fx.sy, 0.0);
+  const Cons fy = srhd::flux(w, u, 1);
+  EXPECT_DOUBLE_EQ(fy.sy, 2.5);
+  EXPECT_DOUBLE_EQ(fy.sx, 0.0);
+}
+
+TEST(SrhdState, SignalSpeedsReduceToSoundSpeedAtRest) {
+  const Prim w{1.0, 0.0, 0.0, 0.0, 1.0};
+  const auto s = srhd::signal_speeds(w, 0, kEos);
+  const double cs = kEos.sound_speed(1.0, 1.0);
+  EXPECT_NEAR(s.lambda_plus, cs, 1e-13);
+  EXPECT_NEAR(s.lambda_minus, -cs, 1e-13);
+}
+
+TEST(SrhdState, SignalSpeedsUseRelativisticAddition1d) {
+  // Pure 1D flow: lambda = (v +- cs) / (1 +- v cs).
+  const Prim w{1.0, 0.7, 0.0, 0.0, 0.1};
+  const double cs = kEos.sound_speed(1.0, 0.1);
+  const auto s = srhd::signal_speeds(w, 0, kEos);
+  EXPECT_NEAR(s.lambda_plus, (0.7 + cs) / (1.0 + 0.7 * cs), 1e-12);
+  EXPECT_NEAR(s.lambda_minus, (0.7 - cs) / (1.0 - 0.7 * cs), 1e-12);
+}
+
+TEST(SrhdState, SignalSpeedsAreCausal) {
+  for (const double v : {0.0, 0.5, 0.9, 0.999}) {
+    for (const double p : {1e-8, 1.0, 1e6}) {
+      const Prim w{1.0, v, 0.3 * std::sqrt(1 - v * v), 0.0, p};
+      for (int axis = 0; axis < 3; ++axis) {
+        const auto s = srhd::signal_speeds(w, axis, kEos);
+        EXPECT_LT(std::abs(s.lambda_minus), 1.0);
+        EXPECT_LT(std::abs(s.lambda_plus), 1.0);
+        EXPECT_LE(s.lambda_minus, s.lambda_plus);
+      }
+    }
+  }
+}
+
+TEST(SrhdState, MaxSignalSpeedCoversAllAxes) {
+  const Prim w{1.0, 0.1, 0.8, 0.0, 1.0};
+  const double m3 = srhd::max_signal_speed(w, kEos, 3);
+  const double m1 = srhd::max_signal_speed(w, kEos, 1);
+  EXPECT_GE(m3, m1);
+  EXPECT_LT(m3, 1.0);
+}
+
+// --- con2prim property sweep --------------------------------------------
+
+struct C2PCase {
+  double rho;
+  double w_lorentz;  // target Lorentz factor
+  double p_over_rho;
+};
+
+class Con2PrimRoundTrip : public ::testing::TestWithParam<C2PCase> {};
+
+TEST_P(Con2PrimRoundTrip, RecoversPrimitives) {
+  const auto c = GetParam();
+  const double v = std::sqrt(1.0 - 1.0 / (c.w_lorentz * c.w_lorentz));
+  // Split velocity across two axes to exercise the vector recovery.
+  Prim w;
+  w.rho = c.rho;
+  w.vx = v * 0.8;
+  w.vy = v * 0.6;
+  w.p = c.p_over_rho * c.rho;
+  const Cons u = srhd::prim_to_cons(w, kEos);
+  const auto r = srhd::cons_to_prim(u, kEos);
+  ASSERT_TRUE(r.converged) << "W=" << c.w_lorentz << " p/rho=" << c.p_over_rho;
+  EXPECT_FALSE(r.floored);
+  // Tolerance scales with the roundoff floor of the residual, which is
+  // eps * E: tiny p on a huge-energy state cannot be recovered to 1e-8.
+  const double p_tol = std::max(1e-8 * w.p, 1e-14 * (u.tau + u.d));
+  EXPECT_NEAR(r.prim.rho, w.rho, 1e-8 * w.rho);
+  EXPECT_NEAR(r.prim.p, w.p, p_tol);
+  EXPECT_NEAR(r.prim.vx, w.vx, 1e-9);
+  EXPECT_NEAR(r.prim.vy, w.vy, 1e-9);
+  EXPECT_LE(r.iterations, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Con2PrimRoundTrip,
+    ::testing::Values(C2PCase{1.0, 1.0, 1.0}, C2PCase{1.0, 1.1, 1e-6},
+                      C2PCase{1.0, 2.0, 1e-3}, C2PCase{1.0, 5.0, 1.0},
+                      C2PCase{1.0, 10.0, 1e3}, C2PCase{1.0, 50.0, 1e-2},
+                      C2PCase{1e-6, 2.0, 1e2}, C2PCase{1e6, 3.0, 1e-8},
+                      C2PCase{1.0, 1.0000001, 1e4},
+                      C2PCase{13.3, 7.0, 0.3}));
+
+TEST(Con2Prim, StaticGasIsExact) {
+  const Prim w{3.0, 0.0, 0.0, 0.0, 0.7};
+  const auto r = srhd::cons_to_prim(srhd::prim_to_cons(w, kEos), kEos);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.prim.rho, 3.0, 1e-10);
+  EXPECT_NEAR(r.prim.p, 0.7, 1e-10);
+  EXPECT_DOUBLE_EQ(r.prim.vx, 0.0);
+}
+
+TEST(Con2Prim, EvacuatedZoneGetsAtmosphere) {
+  Cons u;
+  u.d = 1e-20;  // below rho_floor
+  u.tau = 1e-20;
+  const auto r = srhd::cons_to_prim(u, kEos);
+  EXPECT_TRUE(r.floored);
+  EXPECT_GT(r.prim.rho, 0.0);
+  EXPECT_GT(r.prim.p, 0.0);
+  EXPECT_DOUBLE_EQ(r.prim.vx, 0.0);
+}
+
+TEST(Con2Prim, NonFiniteInputGetsAtmosphereNotThrow) {
+  Cons u;
+  u.d = std::nan("");
+  u.tau = 1.0;
+  srhd::Con2PrimResult r;
+  EXPECT_NO_THROW(r = srhd::cons_to_prim(u, kEos));
+  EXPECT_TRUE(r.floored);
+
+  u.d = 1.0;
+  u.sx = std::numeric_limits<double>::infinity();
+  EXPECT_NO_THROW(r = srhd::cons_to_prim(u, kEos));
+  EXPECT_TRUE(r.floored);
+}
+
+TEST(Con2Prim, SuperluminalMomentumIsFloored) {
+  // |S| > tau + D + p_max: no physical solution exists.
+  Cons u;
+  u.d = 1.0;
+  u.sx = 100.0;
+  u.tau = 0.1;
+  const auto r = srhd::cons_to_prim(u, kEos);
+  EXPECT_TRUE(r.floored);
+}
+
+TEST(Con2Prim, RespectsCustomFloors) {
+  srhd::Con2PrimOptions opt;
+  opt.rho_floor = 1e-3;
+  opt.p_floor = 1e-4;
+  Cons u;
+  u.d = 1e-6;  // below custom floor
+  u.tau = 1e-6;
+  const auto r = srhd::cons_to_prim(u, kEos, opt);
+  EXPECT_TRUE(r.floored);
+  EXPECT_DOUBLE_EQ(r.prim.rho, 1e-3);
+  EXPECT_DOUBLE_EQ(r.prim.p, 1e-4);
+}
+
+TEST(Con2Prim, IterationCountRespectsBudget) {
+  srhd::Con2PrimOptions opt;
+  opt.max_iterations = 3;  // starve the solver
+  const Prim w{1.0, 0.9, 0.0, 0.0, 10.0};
+  const auto r = srhd::cons_to_prim(srhd::prim_to_cons(w, kEos), kEos, opt);
+  EXPECT_LE(r.iterations, 3);
+  // Either it converged very fast or it was floored — never a hang.
+  EXPECT_TRUE(r.converged || r.floored);
+}
+
+TEST(SrhdCons, ArithmeticOperators) {
+  const Cons a{1, 2, 3, 4, 5};
+  const Cons b{10, 20, 30, 40, 50};
+  const Cons sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.d, 11);
+  EXPECT_DOUBLE_EQ(sum.tau, 55);
+  const Cons diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.sx, 18);
+  const Cons scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled.sz, 8);
+  EXPECT_DOUBLE_EQ(a.s_sq(), 4 + 9 + 16);
+}
+
+}  // namespace

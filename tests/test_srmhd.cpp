@@ -1,0 +1,206 @@
+// SRMHD physics: conservative map, fluxes, fast-speed bounds, GLM pieces,
+// and the 1D-W con2prim roundtrip sweep (with and without magnetization).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/srhd/state.hpp"
+#include "rshc/srmhd/con2prim.hpp"
+#include "rshc/srmhd/glm.hpp"
+#include "rshc/srmhd/state.hpp"
+
+namespace {
+
+using namespace rshc;
+using srmhd::Cons;
+using srmhd::Prim;
+
+const eos::IdealGas kEos(5.0 / 3.0);
+
+Prim make_prim(double rho, double vx, double vy, double vz, double p,
+               double bx, double by, double bz) {
+  Prim w;
+  w.rho = rho; w.vx = vx; w.vy = vy; w.vz = vz; w.p = p;
+  w.bx = bx; w.by = by; w.bz = bz;
+  return w;
+}
+
+TEST(SrmhdState, UnmagnetizedConsMatchesSrhd) {
+  const Prim w = make_prim(1.3, 0.4, -0.2, 0.1, 0.9, 0.0, 0.0, 0.0);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const srhd::Prim wh{1.3, 0.4, -0.2, 0.1, 0.9};
+  const srhd::Cons uh = srhd::prim_to_cons(wh, kEos);
+  EXPECT_NEAR(u.d, uh.d, 1e-14);
+  EXPECT_NEAR(u.sx, uh.sx, 1e-13);
+  EXPECT_NEAR(u.sy, uh.sy, 1e-13);
+  EXPECT_NEAR(u.tau, uh.tau, 1e-13);
+}
+
+TEST(SrmhdState, UnmagnetizedFluxMatchesSrhd) {
+  const Prim w = make_prim(1.3, 0.4, -0.2, 0.1, 0.9, 0.0, 0.0, 0.0);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const srhd::Prim wh{1.3, 0.4, -0.2, 0.1, 0.9};
+  const srhd::Cons uh = srhd::prim_to_cons(wh, kEos);
+  for (int axis = 0; axis < 3; ++axis) {
+    const Cons f = srmhd::flux(w, u, axis, kEos);
+    const srhd::Cons fh = srhd::flux(wh, uh, axis);
+    EXPECT_NEAR(f.d, fh.d, 1e-13);
+    EXPECT_NEAR(f.sx, fh.sx, 1e-13);
+    EXPECT_NEAR(f.sy, fh.sy, 1e-13);
+    EXPECT_NEAR(f.tau, fh.tau, 1e-13);
+  }
+}
+
+TEST(SrmhdState, StaticMagnetizedEnergyIncludesFieldEnergy) {
+  const Prim w = make_prim(1.0, 0.0, 0.0, 0.0, 1.0, 0.3, 0.4, 0.0);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const double eps = kEos.specific_internal_energy(1.0, 1.0);
+  // tau = rho*eps + B^2/2 at rest.
+  EXPECT_NEAR(u.tau, eps + 0.5 * 0.25, 1e-13);
+  EXPECT_DOUBLE_EQ(u.bx, 0.3);
+  EXPECT_DOUBLE_EQ(u.by, 0.4);
+}
+
+TEST(SrmhdState, MagneticTensionAppearsInMomentumFlux) {
+  // Static gas, field along x: F_x(S_x) = p + B^2/2 - Bx^2 (tension),
+  // F_x(S_y) = -Bx By.
+  const Prim w = make_prim(1.0, 0.0, 0.0, 0.0, 2.0, 0.5, 0.3, 0.0);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const Cons f = srmhd::flux(w, u, 0, kEos);
+  const double b2 = 0.25 + 0.09;
+  EXPECT_NEAR(f.sx, 2.0 + 0.5 * b2 - 0.25, 1e-13);
+  EXPECT_NEAR(f.sy, -0.5 * 0.3, 1e-13);
+}
+
+TEST(SrmhdState, InductionFluxIsAntisymmetric) {
+  const Prim w = make_prim(1.0, 0.3, 0.2, 0.0, 1.0, 0.1, 0.4, 0.2);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const Cons fx = srmhd::flux(w, u, 0, kEos);
+  EXPECT_DOUBLE_EQ(fx.bx, 0.0);  // F_x(B_x) = 0 pre-GLM
+  EXPECT_NEAR(fx.by, 0.3 * 0.4 - 0.2 * 0.1, 1e-14);  // vx By - vy Bx
+  EXPECT_NEAR(fx.bz, 0.3 * 0.2 - 0.0 * 0.1, 1e-14);
+}
+
+TEST(SrmhdState, FastSpeedReducesToSoundSpeedUnmagnetized) {
+  const Prim w = make_prim(1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+  const auto s = srmhd::fast_speeds(w, 0, kEos);
+  EXPECT_NEAR(s.lambda_plus, kEos.sound_speed(1.0, 1.0), 1e-12);
+}
+
+TEST(SrmhdState, FastSpeedGrowsWithFieldButStaysCausal) {
+  const Prim weak = make_prim(1.0, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0);
+  const Prim strong = make_prim(1.0, 0.0, 0.0, 0.0, 0.1, 10.0, 0.0, 0.0);
+  const auto sw = srmhd::fast_speeds(weak, 1, kEos);
+  const auto ss = srmhd::fast_speeds(strong, 1, kEos);
+  EXPECT_GT(ss.lambda_plus, sw.lambda_plus);
+  EXPECT_LT(ss.lambda_plus, 1.0);
+  EXPECT_GT(srmhd::max_signal_speed(strong, kEos, 3), 0.9);
+}
+
+// --- con2prim sweep -------------------------------------------------------
+
+struct MhdC2PCase {
+  double v;      // |v|, split over axes
+  double p;
+  double b;      // |B|, oblique
+};
+
+class MhdRoundTrip : public ::testing::TestWithParam<MhdC2PCase> {};
+
+TEST_P(MhdRoundTrip, RecoversPrimitives) {
+  const auto c = GetParam();
+  const Prim w = make_prim(1.0, 0.6 * c.v, 0.64 * c.v, 0.48 * c.v, c.p,
+                           0.7 * c.b, 0.1 * c.b, -0.7 * c.b);
+  const Cons u = srmhd::prim_to_cons(w, kEos);
+  const auto r = srmhd::cons_to_prim(u, kEos);
+  ASSERT_TRUE(r.converged) << "v=" << c.v << " p=" << c.p << " B=" << c.b;
+  EXPECT_NEAR(r.prim.rho, w.rho, 1e-7 * w.rho);
+  EXPECT_NEAR(r.prim.p, w.p, 2e-6 * w.p);
+  EXPECT_NEAR(r.prim.vx, w.vx, 1e-7);
+  EXPECT_NEAR(r.prim.vy, w.vy, 1e-7);
+  EXPECT_NEAR(r.prim.vz, w.vz, 1e-7);
+  EXPECT_DOUBLE_EQ(r.prim.bx, w.bx);  // B passes through exactly
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MhdRoundTrip,
+    ::testing::Values(MhdC2PCase{0.0, 1.0, 0.0}, MhdC2PCase{0.0, 1.0, 1.0},
+                      MhdC2PCase{0.5, 0.1, 0.5}, MhdC2PCase{0.9, 1.0, 0.1},
+                      MhdC2PCase{0.5, 1e-4, 2.0}, MhdC2PCase{0.3, 100.0, 5.0},
+                      MhdC2PCase{0.95, 10.0, 1.0},
+                      MhdC2PCase{0.1, 1e-6, 1e-3}));
+
+TEST(MhdCon2Prim, MagneticallyDominatedStillConverges) {
+  // Magnetization sigma = B^2/rho ~ 100.
+  const Prim w = make_prim(1.0, 0.1, 0.0, 0.0, 0.01, 10.0, 0.0, 0.0);
+  const auto r = srmhd::cons_to_prim(srmhd::prim_to_cons(w, kEos), kEos);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.prim.rho, 1.0, 1e-6);
+}
+
+TEST(MhdCon2Prim, EvacuatedZoneKeepsField) {
+  Cons u;
+  u.d = 1e-30;
+  u.bx = 0.7;
+  u.psi = 0.2;
+  const auto r = srmhd::cons_to_prim(u, kEos);
+  EXPECT_TRUE(r.floored);
+  EXPECT_DOUBLE_EQ(r.prim.bx, 0.7);  // field is divergence-constrained
+  EXPECT_DOUBLE_EQ(r.prim.psi, 0.2);
+  EXPECT_GT(r.prim.rho, 0.0);
+}
+
+TEST(MhdCon2Prim, NonFiniteInputFloorsQuietly) {
+  Cons u;
+  u.d = 1.0;
+  u.tau = std::nan("");
+  srmhd::Con2PrimResult r;
+  EXPECT_NO_THROW(r = srmhd::cons_to_prim(u, kEos));
+  EXPECT_TRUE(r.floored);
+}
+
+// --- GLM -------------------------------------------------------------------
+
+TEST(Glm, ContinuousStateGivesContinuousFlux) {
+  const auto f = srmhd::glm_interface_flux(0.4, 0.1, 0.4, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(f.flux_bn, 0.1);   // psi* = psi
+  EXPECT_DOUBLE_EQ(f.flux_psi, 0.4);  // ch^2 Bn* = Bn
+}
+
+TEST(Glm, JumpIsUpwinded) {
+  // Pure Bn jump: psi* = -ch dBn / 2, Bn* = mean.
+  const auto f = srmhd::glm_interface_flux(0.0, 0.0, 1.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.flux_bn, -0.5);  // = psi*
+  EXPECT_DOUBLE_EQ(f.flux_psi, 0.5);  // = ch^2 Bn*
+  // Pure psi jump: Bn* picks up -dpsi / (2 ch).
+  const auto g = srmhd::glm_interface_flux(0.2, 0.0, 0.2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.flux_bn, 0.5);          // psi* = mean = 0.5
+  EXPECT_DOUBLE_EQ(g.flux_psi, 0.2 - 0.5);   // Bn* = 0.2 - 0.5
+}
+
+TEST(Glm, DampingFactorBehaviour) {
+  srmhd::GlmParams glm;
+  glm.alpha = 0.5;
+  const double f = srmhd::glm_damping_factor(glm, 0.01, 0.01);
+  EXPECT_NEAR(f, std::exp(-0.5), 1e-12);
+  glm.enabled = false;
+  EXPECT_DOUBLE_EQ(srmhd::glm_damping_factor(glm, 0.01, 0.01), 1.0);
+  glm.enabled = true;
+  glm.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(srmhd::glm_damping_factor(glm, 0.01, 0.01), 1.0);
+}
+
+TEST(SrmhdCons, ArithmeticCoversAllNineComponents) {
+  Cons a;
+  a.d = 1; a.sx = 2; a.sy = 3; a.sz = 4; a.tau = 5;
+  a.bx = 6; a.by = 7; a.bz = 8; a.psi = 9;
+  const Cons two = 2.0 * a;
+  EXPECT_DOUBLE_EQ(two.psi, 18);
+  EXPECT_DOUBLE_EQ(two.bz, 16);
+  const Cons diff = two - a;
+  EXPECT_DOUBLE_EQ(diff.by, 7);
+  EXPECT_DOUBLE_EQ(a.s_dot_b(), 2 * 6 + 3 * 7 + 4 * 8);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// SSP Runge-Kutta integrators: coefficient identities and measured
+// convergence order on a scalar ODE driven through the same stage loop the
+// solver uses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rshc/common/error.hpp"
+#include "rshc/time/integrator.hpp"
+
+namespace {
+
+using namespace rshc::time;
+
+class EveryIntegrator : public ::testing::TestWithParam<Integrator> {};
+
+TEST_P(EveryIntegrator, CoefficientsAreConsistent) {
+  // Consistency requires a + b = 1 at every stage (convex combination).
+  const Integrator m = GetParam();
+  for (int s = 0; s < num_stages(m); ++s) {
+    const StageCoeffs c = stage_coeffs(m, s);
+    EXPECT_NEAR(c.a + c.b, 1.0, 1e-15) << "stage " << s;
+    EXPECT_GE(c.a, 0.0);
+    EXPECT_GE(c.b, 0.0);
+    EXPECT_GT(c.c, 0.0);
+  }
+}
+
+TEST_P(EveryIntegrator, NameRoundTrips) {
+  EXPECT_EQ(parse_integrator(integrator_name(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Integrators, EveryIntegrator,
+                         ::testing::Values(Integrator::kEuler,
+                                           Integrator::kSspRk2,
+                                           Integrator::kSspRk3));
+
+/// Integrate y' = -y from y(0) = 1 to t = 1 using the solver's stage-loop
+/// structure; return |y - e^{-1}|.
+double ode_error(Integrator m, int nsteps) {
+  const double dt = 1.0 / nsteps;
+  double y = 1.0;
+  for (int step = 0; step < nsteps; ++step) {
+    const double y0 = y;
+    for (int s = 0; s < num_stages(m); ++s) {
+      const StageCoeffs c = stage_coeffs(m, s);
+      y = c.a * y0 + c.b * y + c.c * dt * (-y);
+    }
+  }
+  return std::abs(y - std::exp(-1.0));
+}
+
+class OdeOrder
+    : public ::testing::TestWithParam<std::pair<Integrator, double>> {};
+
+TEST_P(OdeOrder, MeasuredOrderMatchesFormalOrder) {
+  const auto [m, expected] = GetParam();
+  const double e1 = ode_error(m, 40);
+  const double e2 = ode_error(m, 80);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, expected, 0.15)
+      << integrator_name(m) << " e1=" << e1 << " e2=" << e2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, OdeOrder,
+    ::testing::Values(std::pair{Integrator::kEuler, 1.0},
+                      std::pair{Integrator::kSspRk2, 2.0},
+                      std::pair{Integrator::kSspRk3, 3.0}));
+
+TEST(Integrator, FormalOrders) {
+  EXPECT_EQ(formal_order(Integrator::kEuler), 1);
+  EXPECT_EQ(formal_order(Integrator::kSspRk2), 2);
+  EXPECT_EQ(formal_order(Integrator::kSspRk3), 3);
+  EXPECT_EQ(num_stages(Integrator::kSspRk3), 3);
+}
+
+TEST(Integrator, ParseAliasesAndErrors) {
+  EXPECT_EQ(parse_integrator("rk2"), Integrator::kSspRk2);
+  EXPECT_EQ(parse_integrator("rk3"), Integrator::kSspRk3);
+  EXPECT_THROW((void)parse_integrator("rk4"), rshc::Error);
+}
+
+TEST(Integrator, SspRk3MatchesShuOsherTableau) {
+  // u1 = u0 + dt L;  u2 = 3/4 u0 + 1/4 (u1 + dt L(u1));
+  // u  = 1/3 u0 + 2/3 (u2 + dt L(u2)).
+  const StageCoeffs s1 = stage_coeffs(Integrator::kSspRk3, 1);
+  EXPECT_DOUBLE_EQ(s1.a, 0.75);
+  EXPECT_DOUBLE_EQ(s1.b, 0.25);
+  EXPECT_DOUBLE_EQ(s1.c, 0.25);
+  const StageCoeffs s2 = stage_coeffs(Integrator::kSspRk3, 2);
+  EXPECT_DOUBLE_EQ(s2.a, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s2.b, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s2.c, 2.0 / 3.0);
+}
+
+}  // namespace
