@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_a1_glm_alpha.dir/exp_a1_glm_alpha.cpp.o"
+  "CMakeFiles/exp_a1_glm_alpha.dir/exp_a1_glm_alpha.cpp.o.d"
+  "exp_a1_glm_alpha"
+  "exp_a1_glm_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_a1_glm_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

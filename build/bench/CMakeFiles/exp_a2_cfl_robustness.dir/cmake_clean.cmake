@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_a2_cfl_robustness.dir/exp_a2_cfl_robustness.cpp.o"
+  "CMakeFiles/exp_a2_cfl_robustness.dir/exp_a2_cfl_robustness.cpp.o.d"
+  "exp_a2_cfl_robustness"
+  "exp_a2_cfl_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_a2_cfl_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

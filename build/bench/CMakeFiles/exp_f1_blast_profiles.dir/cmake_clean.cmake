@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f1_blast_profiles.dir/exp_f1_blast_profiles.cpp.o"
+  "CMakeFiles/exp_f1_blast_profiles.dir/exp_f1_blast_profiles.cpp.o.d"
+  "exp_f1_blast_profiles"
+  "exp_f1_blast_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f1_blast_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_f1_blast_profiles.
+# This may be replaced when dependencies are built.

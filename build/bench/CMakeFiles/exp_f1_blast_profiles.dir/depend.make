@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f1_blast_profiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f2_kh_growth.dir/exp_f2_kh_growth.cpp.o"
+  "CMakeFiles/exp_f2_kh_growth.dir/exp_f2_kh_growth.cpp.o.d"
+  "exp_f2_kh_growth"
+  "exp_f2_kh_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f2_kh_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f3_strong_scaling.dir/exp_f3_strong_scaling.cpp.o"
+  "CMakeFiles/exp_f3_strong_scaling.dir/exp_f3_strong_scaling.cpp.o.d"
+  "exp_f3_strong_scaling"
+  "exp_f3_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f3_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

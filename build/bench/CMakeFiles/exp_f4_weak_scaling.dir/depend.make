@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_f4_weak_scaling.
+# This may be replaced when dependencies are built.

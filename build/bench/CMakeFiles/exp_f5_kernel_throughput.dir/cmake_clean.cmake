@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f5_kernel_throughput.dir/exp_f5_kernel_throughput.cpp.o"
+  "CMakeFiles/exp_f5_kernel_throughput.dir/exp_f5_kernel_throughput.cpp.o.d"
+  "exp_f5_kernel_throughput"
+  "exp_f5_kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f5_kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

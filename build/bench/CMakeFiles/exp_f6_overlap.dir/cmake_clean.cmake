@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f6_overlap.dir/exp_f6_overlap.cpp.o"
+  "CMakeFiles/exp_f6_overlap.dir/exp_f6_overlap.cpp.o.d"
+  "exp_f6_overlap"
+  "exp_f6_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f6_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

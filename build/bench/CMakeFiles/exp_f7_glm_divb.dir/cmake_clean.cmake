@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f7_glm_divb.dir/exp_f7_glm_divb.cpp.o"
+  "CMakeFiles/exp_f7_glm_divb.dir/exp_f7_glm_divb.cpp.o.d"
+  "exp_f7_glm_divb"
+  "exp_f7_glm_divb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f7_glm_divb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

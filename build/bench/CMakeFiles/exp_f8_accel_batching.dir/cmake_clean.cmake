@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f8_accel_batching.dir/exp_f8_accel_batching.cpp.o"
+  "CMakeFiles/exp_f8_accel_batching.dir/exp_f8_accel_batching.cpp.o.d"
+  "exp_f8_accel_batching"
+  "exp_f8_accel_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f8_accel_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

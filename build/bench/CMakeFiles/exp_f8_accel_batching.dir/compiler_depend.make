@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_f8_accel_batching.
+# This may be replaced when dependencies are built.

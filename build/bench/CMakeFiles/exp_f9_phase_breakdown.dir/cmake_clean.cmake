@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f9_phase_breakdown.dir/exp_f9_phase_breakdown.cpp.o"
+  "CMakeFiles/exp_f9_phase_breakdown.dir/exp_f9_phase_breakdown.cpp.o.d"
+  "exp_f9_phase_breakdown"
+  "exp_f9_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f9_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_r1_refinement.dir/exp_r1_refinement.cpp.o"
+  "CMakeFiles/exp_r1_refinement.dir/exp_r1_refinement.cpp.o.d"
+  "exp_r1_refinement"
+  "exp_r1_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_r1_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t2_convergence.dir/exp_t2_convergence.cpp.o"
+  "CMakeFiles/exp_t2_convergence.dir/exp_t2_convergence.cpp.o.d"
+  "exp_t2_convergence"
+  "exp_t2_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t2_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

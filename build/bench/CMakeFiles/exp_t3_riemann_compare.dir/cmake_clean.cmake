@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t3_riemann_compare.dir/exp_t3_riemann_compare.cpp.o"
+  "CMakeFiles/exp_t3_riemann_compare.dir/exp_t3_riemann_compare.cpp.o.d"
+  "exp_t3_riemann_compare"
+  "exp_t3_riemann_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t3_riemann_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_t4_con2prim.cpp" "bench/CMakeFiles/exp_t4_con2prim.dir/exp_t4_con2prim.cpp.o" "gcc" "bench/CMakeFiles/exp_t4_con2prim.dir/exp_t4_con2prim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/problems/CMakeFiles/rshc_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/rshc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/amr/CMakeFiles/rshc_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rshc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rshc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rshc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rshc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rshc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/rshc_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/riemann/CMakeFiles/rshc_riemann.dir/DependInfo.cmake"
+  "/root/repo/build/src/srhd/CMakeFiles/rshc_srhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/srmhd/CMakeFiles/rshc_srmhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rshc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/rshc_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/rshc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rshc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

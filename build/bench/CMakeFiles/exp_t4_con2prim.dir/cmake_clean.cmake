@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t4_con2prim.dir/exp_t4_con2prim.cpp.o"
+  "CMakeFiles/exp_t4_con2prim.dir/exp_t4_con2prim.cpp.o.d"
+  "exp_t4_con2prim"
+  "exp_t4_con2prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t4_con2prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t4_con2prim.
+# This may be replaced when dependencies are built.

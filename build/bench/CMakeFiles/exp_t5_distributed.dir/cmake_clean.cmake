@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t5_distributed.dir/exp_t5_distributed.cpp.o"
+  "CMakeFiles/exp_t5_distributed.dir/exp_t5_distributed.cpp.o.d"
+  "exp_t5_distributed"
+  "exp_t5_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t5_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

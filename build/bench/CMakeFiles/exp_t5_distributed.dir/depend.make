@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t5_distributed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_w1_wavelet_compression.dir/exp_w1_wavelet_compression.cpp.o"
+  "CMakeFiles/exp_w1_wavelet_compression.dir/exp_w1_wavelet_compression.cpp.o.d"
+  "exp_w1_wavelet_compression"
+  "exp_w1_wavelet_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_w1_wavelet_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_shock_tracking.dir/amr_shock_tracking.cpp.o"
+  "CMakeFiles/amr_shock_tracking.dir/amr_shock_tracking.cpp.o.d"
+  "amr_shock_tracking"
+  "amr_shock_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_shock_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_tube.dir/distributed_tube.cpp.o"
+  "CMakeFiles/distributed_tube.dir/distributed_tube.cpp.o.d"
+  "distributed_tube"
+  "distributed_tube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

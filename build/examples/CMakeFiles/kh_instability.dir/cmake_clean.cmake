@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kh_instability.dir/kh_instability.cpp.o"
+  "CMakeFiles/kh_instability.dir/kh_instability.cpp.o.d"
+  "kh_instability"
+  "kh_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kh_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kh_instability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_blast.dir/mhd_blast.cpp.o"
+  "CMakeFiles/mhd_blast.dir/mhd_blast.cpp.o.d"
+  "mhd_blast"
+  "mhd_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

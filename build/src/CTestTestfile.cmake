@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("parallel")
+subdirs("comm")
+subdirs("device")
+subdirs("eos")
+subdirs("srhd")
+subdirs("srmhd")
+subdirs("recon")
+subdirs("riemann")
+subdirs("time")
+subdirs("mesh")
+subdirs("solver")
+subdirs("problems")
+subdirs("analysis")
+subdirs("wavelet")
+subdirs("amr")
+subdirs("io")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_amr.dir/two_level.cpp.o"
+  "CMakeFiles/rshc_amr.dir/two_level.cpp.o.d"
+  "librshc_amr.a"
+  "librshc_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

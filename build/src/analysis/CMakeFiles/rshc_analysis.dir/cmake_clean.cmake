@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_analysis.dir/exact_riemann.cpp.o"
+  "CMakeFiles/rshc_analysis.dir/exact_riemann.cpp.o.d"
+  "CMakeFiles/rshc_analysis.dir/norms.cpp.o"
+  "CMakeFiles/rshc_analysis.dir/norms.cpp.o.d"
+  "librshc_analysis.a"
+  "librshc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_comm.dir/cart_topology.cpp.o"
+  "CMakeFiles/rshc_comm.dir/cart_topology.cpp.o.d"
+  "CMakeFiles/rshc_comm.dir/communicator.cpp.o"
+  "CMakeFiles/rshc_comm.dir/communicator.cpp.o.d"
+  "librshc_comm.a"
+  "librshc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_common.dir/config.cpp.o"
+  "CMakeFiles/rshc_common.dir/config.cpp.o.d"
+  "CMakeFiles/rshc_common.dir/log.cpp.o"
+  "CMakeFiles/rshc_common.dir/log.cpp.o.d"
+  "CMakeFiles/rshc_common.dir/table.cpp.o"
+  "CMakeFiles/rshc_common.dir/table.cpp.o.d"
+  "librshc_common.a"
+  "librshc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

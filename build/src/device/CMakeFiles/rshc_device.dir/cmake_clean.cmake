@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_device.dir/device.cpp.o"
+  "CMakeFiles/rshc_device.dir/device.cpp.o.d"
+  "librshc_device.a"
+  "librshc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

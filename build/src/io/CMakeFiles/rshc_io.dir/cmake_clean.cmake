@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/rshc_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/rshc_io.dir/vtk.cpp.o"
+  "CMakeFiles/rshc_io.dir/vtk.cpp.o.d"
+  "librshc_io.a"
+  "librshc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_mesh.dir/boundary.cpp.o"
+  "CMakeFiles/rshc_mesh.dir/boundary.cpp.o.d"
+  "CMakeFiles/rshc_mesh.dir/decomposition.cpp.o"
+  "CMakeFiles/rshc_mesh.dir/decomposition.cpp.o.d"
+  "CMakeFiles/rshc_mesh.dir/halo.cpp.o"
+  "CMakeFiles/rshc_mesh.dir/halo.cpp.o.d"
+  "librshc_mesh.a"
+  "librshc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

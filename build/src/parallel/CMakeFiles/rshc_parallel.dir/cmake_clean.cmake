@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_parallel.dir/task_graph.cpp.o"
+  "CMakeFiles/rshc_parallel.dir/task_graph.cpp.o.d"
+  "CMakeFiles/rshc_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rshc_parallel.dir/thread_pool.cpp.o.d"
+  "librshc_parallel.a"
+  "librshc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

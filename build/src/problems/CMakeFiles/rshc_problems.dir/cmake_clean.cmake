@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_problems.dir/problems.cpp.o"
+  "CMakeFiles/rshc_problems.dir/problems.cpp.o.d"
+  "librshc_problems.a"
+  "librshc_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

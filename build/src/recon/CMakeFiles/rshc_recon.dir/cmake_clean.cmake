@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_recon.dir/reconstruct.cpp.o"
+  "CMakeFiles/rshc_recon.dir/reconstruct.cpp.o.d"
+  "librshc_recon.a"
+  "librshc_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

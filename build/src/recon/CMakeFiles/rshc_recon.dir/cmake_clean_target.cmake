@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librshc_recon.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_riemann.dir/riemann.cpp.o"
+  "CMakeFiles/rshc_riemann.dir/riemann.cpp.o.d"
+  "librshc_riemann.a"
+  "librshc_riemann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_riemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

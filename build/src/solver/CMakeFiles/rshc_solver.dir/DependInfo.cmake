@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/diagnostics.cpp" "src/solver/CMakeFiles/rshc_solver.dir/diagnostics.cpp.o" "gcc" "src/solver/CMakeFiles/rshc_solver.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/solver/distributed.cpp" "src/solver/CMakeFiles/rshc_solver.dir/distributed.cpp.o" "gcc" "src/solver/CMakeFiles/rshc_solver.dir/distributed.cpp.o.d"
+  "/root/repo/src/solver/fv_solver.cpp" "src/solver/CMakeFiles/rshc_solver.dir/fv_solver.cpp.o" "gcc" "src/solver/CMakeFiles/rshc_solver.dir/fv_solver.cpp.o.d"
+  "/root/repo/src/solver/offload.cpp" "src/solver/CMakeFiles/rshc_solver.dir/offload.cpp.o" "gcc" "src/solver/CMakeFiles/rshc_solver.dir/offload.cpp.o.d"
+  "/root/repo/src/solver/physics.cpp" "src/solver/CMakeFiles/rshc_solver.dir/physics.cpp.o" "gcc" "src/solver/CMakeFiles/rshc_solver.dir/physics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rshc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rshc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rshc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rshc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/srhd/CMakeFiles/rshc_srhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/srmhd/CMakeFiles/rshc_srmhd.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/rshc_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/riemann/CMakeFiles/rshc_riemann.dir/DependInfo.cmake"
+  "/root/repo/build/src/time/CMakeFiles/rshc_time.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/rshc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rshc_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_solver.dir/diagnostics.cpp.o"
+  "CMakeFiles/rshc_solver.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/rshc_solver.dir/distributed.cpp.o"
+  "CMakeFiles/rshc_solver.dir/distributed.cpp.o.d"
+  "CMakeFiles/rshc_solver.dir/fv_solver.cpp.o"
+  "CMakeFiles/rshc_solver.dir/fv_solver.cpp.o.d"
+  "CMakeFiles/rshc_solver.dir/offload.cpp.o"
+  "CMakeFiles/rshc_solver.dir/offload.cpp.o.d"
+  "CMakeFiles/rshc_solver.dir/physics.cpp.o"
+  "CMakeFiles/rshc_solver.dir/physics.cpp.o.d"
+  "librshc_solver.a"
+  "librshc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

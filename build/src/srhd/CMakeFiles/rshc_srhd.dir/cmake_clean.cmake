@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_srhd.dir/kernels_scalar.cpp.o"
+  "CMakeFiles/rshc_srhd.dir/kernels_scalar.cpp.o.d"
+  "CMakeFiles/rshc_srhd.dir/kernels_simd.cpp.o"
+  "CMakeFiles/rshc_srhd.dir/kernels_simd.cpp.o.d"
+  "librshc_srhd.a"
+  "librshc_srhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_srhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rshc_srhd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srmhd/con2prim.cpp" "src/srmhd/CMakeFiles/rshc_srmhd.dir/con2prim.cpp.o" "gcc" "src/srmhd/CMakeFiles/rshc_srmhd.dir/con2prim.cpp.o.d"
+  "/root/repo/src/srmhd/glm.cpp" "src/srmhd/CMakeFiles/rshc_srmhd.dir/glm.cpp.o" "gcc" "src/srmhd/CMakeFiles/rshc_srmhd.dir/glm.cpp.o.d"
+  "/root/repo/src/srmhd/state.cpp" "src/srmhd/CMakeFiles/rshc_srmhd.dir/state.cpp.o" "gcc" "src/srmhd/CMakeFiles/rshc_srmhd.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rshc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_srmhd.dir/con2prim.cpp.o"
+  "CMakeFiles/rshc_srmhd.dir/con2prim.cpp.o.d"
+  "CMakeFiles/rshc_srmhd.dir/glm.cpp.o"
+  "CMakeFiles/rshc_srmhd.dir/glm.cpp.o.d"
+  "CMakeFiles/rshc_srmhd.dir/state.cpp.o"
+  "CMakeFiles/rshc_srmhd.dir/state.cpp.o.d"
+  "librshc_srmhd.a"
+  "librshc_srmhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_srmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

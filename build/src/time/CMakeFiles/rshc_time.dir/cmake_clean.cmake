@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_time.dir/integrator.cpp.o"
+  "CMakeFiles/rshc_time.dir/integrator.cpp.o.d"
+  "librshc_time.a"
+  "librshc_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rshc_wavelet.dir/interp_wavelet.cpp.o"
+  "CMakeFiles/rshc_wavelet.dir/interp_wavelet.cpp.o.d"
+  "librshc_wavelet.a"
+  "librshc_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rshc_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_riemann.dir/test_exact_riemann.cpp.o"
+  "CMakeFiles/test_exact_riemann.dir/test_exact_riemann.cpp.o.d"
+  "test_exact_riemann"
+  "test_exact_riemann.pdb"
+  "test_exact_riemann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_riemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offload_io.dir/test_offload_io.cpp.o"
+  "CMakeFiles/test_offload_io.dir/test_offload_io.cpp.o.d"
+  "test_offload_io"
+  "test_offload_io.pdb"
+  "test_offload_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offload_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

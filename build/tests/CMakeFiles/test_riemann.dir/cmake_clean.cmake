@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riemann.dir/test_riemann.cpp.o"
+  "CMakeFiles/test_riemann.dir/test_riemann.cpp.o.d"
+  "test_riemann"
+  "test_riemann.pdb"
+  "test_riemann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

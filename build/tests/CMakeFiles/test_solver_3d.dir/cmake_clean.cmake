@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_3d.dir/test_solver_3d.cpp.o"
+  "CMakeFiles/test_solver_3d.dir/test_solver_3d.cpp.o.d"
+  "test_solver_3d"
+  "test_solver_3d.pdb"
+  "test_solver_3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_srhd.dir/test_solver_srhd.cpp.o"
+  "CMakeFiles/test_solver_srhd.dir/test_solver_srhd.cpp.o.d"
+  "test_solver_srhd"
+  "test_solver_srhd.pdb"
+  "test_solver_srhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_srhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

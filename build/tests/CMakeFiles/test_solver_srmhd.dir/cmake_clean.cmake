@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_srmhd.dir/test_solver_srmhd.cpp.o"
+  "CMakeFiles/test_solver_srmhd.dir/test_solver_srmhd.cpp.o.d"
+  "test_solver_srmhd"
+  "test_solver_srmhd.pdb"
+  "test_solver_srmhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_srmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

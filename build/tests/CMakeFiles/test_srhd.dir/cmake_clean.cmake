@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srhd.dir/test_srhd.cpp.o"
+  "CMakeFiles/test_srhd.dir/test_srhd.cpp.o.d"
+  "test_srhd"
+  "test_srhd.pdb"
+  "test_srhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_srhd.
+# This may be replaced when dependencies are built.

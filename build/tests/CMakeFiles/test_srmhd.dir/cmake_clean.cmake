@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srmhd.dir/test_srmhd.cpp.o"
+  "CMakeFiles/test_srmhd.dir/test_srmhd.cpp.o.d"
+  "test_srmhd"
+  "test_srmhd.pdb"
+  "test_srmhd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srmhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

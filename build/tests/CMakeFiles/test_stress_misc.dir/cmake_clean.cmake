@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_misc.dir/test_stress_misc.cpp.o"
+  "CMakeFiles/test_stress_misc.dir/test_stress_misc.cpp.o.d"
+  "test_stress_misc"
+  "test_stress_misc.pdb"
+  "test_stress_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_eos[1]_include.cmake")
+include("/root/repo/build/tests/test_srhd[1]_include.cmake")
+include("/root/repo/build/tests/test_srhd_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_srmhd[1]_include.cmake")
+include("/root/repo/build/tests/test_recon[1]_include.cmake")
+include("/root/repo/build/tests/test_riemann[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_time[1]_include.cmake")
+include("/root/repo/build/tests/test_exact_riemann[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_srhd[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_srmhd[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_offload_io[1]_include.cmake")
+include("/root/repo/build/tests/test_problems[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_3d[1]_include.cmake")
+include("/root/repo/build/tests/test_wavelet[1]_include.cmake")
+include("/root/repo/build/tests/test_amr[1]_include.cmake")
+include("/root/repo/build/tests/test_log_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_scheme_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_stress_misc[1]_include.cmake")
