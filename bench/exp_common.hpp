@@ -15,12 +15,15 @@
 #include "rshc/analysis/norms.hpp"
 #include "rshc/common/table.hpp"
 #include "rshc/common/timer.hpp"
+#include "rshc/obs/obs.hpp"
 #include "rshc/problems/problems.hpp"
 #include "rshc/solver/fv_solver.hpp"
 
 namespace rshc::bench {
 
-/// Print the table and mirror it to bench_results/<id>.csv.
+/// Print the table and mirror it to bench_results/<id>.csv. When the
+/// environment asks for it (RSHC_DUMP_METRICS / RSHC_DUMP_TRACE), also
+/// dump the metrics registry and the Chrome trace next to the CSV.
 inline void emit(const Table& table, const std::string& id) {
   table.print(std::cout);
   std::error_code ec;
@@ -28,6 +31,7 @@ inline void emit(const Table& table, const std::string& id) {
   if (!ec) {
     table.write_csv_file("bench_results/" + id + ".csv");
     std::cout << "[csv: bench_results/" << id << ".csv]\n";
+    obs::maybe_dump("bench_results/" + id);
   }
   std::cout << std::endl;
 }

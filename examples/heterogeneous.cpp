@@ -13,6 +13,7 @@
 #include "rshc/common/config.hpp"
 #include "rshc/common/timer.hpp"
 #include "rshc/device/device.hpp"
+#include "rshc/obs/obs.hpp"
 #include "rshc/parallel/thread_pool.hpp"
 #include "rshc/problems/problems.hpp"
 #include "rshc/solver/fv_solver.hpp"
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
   std::printf("# dataflow speedup: %.2fx (expect ~1 on a 1-core host; the "
               "gap widens with cores and block count)\n",
               t_bulk / t_flow);
+  rshc::obs::maybe_dump("heterogeneous");
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "rshc/common/error.hpp"
+
 namespace rshc {
 
 /// Monotonic wall-clock stopwatch.
@@ -22,11 +24,18 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Accumulates elapsed time across start()/stop() pairs.
+/// Accumulates elapsed time across start()/stop() pairs. Unpaired calls
+/// (start while running, stop without start) are misuse: they assert in
+/// debug builds and are ignored in NDEBUG builds.
 class AccumTimer {
  public:
-  void start() { timer_.reset(); running_ = true; }
+  void start() {
+    RSHC_ASSERT(!running_ && "AccumTimer::start() while already running");
+    timer_.reset();
+    running_ = true;
+  }
   void stop() {
+    RSHC_ASSERT(running_ && "AccumTimer::stop() without a matching start()");
     if (running_) total_ += timer_.seconds();
     running_ = false;
   }

@@ -1,0 +1,161 @@
+#pragma once
+// Process-wide metrics registry (DESIGN.md system: observability).
+// Three metric kinds — monotonically increasing Counters, last-write-wins
+// Gauges, and log-binned TimeHists for durations — all accumulated
+// lock-free: every metric is striped across cache-line-padded atomic cells
+// and each thread updates its own stripe with relaxed atomics, so hot-path
+// instrumentation never contends or blocks. snapshot() sums the stripes
+// into a plain value object that can be queried, or serialized with
+// to_json() / to_csv().
+//
+// Metrics are registered on first use by name and live for the life of the
+// process: Registry::reset() zeroes values in place, so references handed
+// out earlier (cached in `static` locals at instrumentation sites) stay
+// valid forever.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rshc::obs {
+
+/// Master runtime switch for metric accumulation (and a prerequisite for
+/// tracing). Defaults to on; the environment variable RSHC_OBS=0 (or "off")
+/// disables it at startup.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+namespace detail {
+
+inline constexpr std::size_t kStripes = 32;
+
+/// Stable per-thread stripe index (round-robin over kStripes).
+[[nodiscard]] std::size_t thread_stripe() noexcept;
+
+struct alignas(64) CounterCell {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Relaxed-atomic max/min for doubles via compare-exchange.
+void atomic_double_max(std::atomic<double>& target, double v) noexcept;
+void atomic_double_min(std::atomic<double>& target, double v) noexcept;
+
+}  // namespace detail
+
+/// Monotonic event count. add() is wait-free on the caller's stripe.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept {
+    cells_[detail::thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t total() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<detail::CounterCell, detail::kStripes> cells_;
+};
+
+/// Last-written scalar (queue depths, configuration echoes, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Duration histogram: power-of-two nanosecond bins (bin i covers
+/// [2^i, 2^(i+1)) ns; the last bin is open-ended at ~2.1 s) plus exact
+/// count / sum / min / max. Striped like Counter.
+class TimeHist {
+ public:
+  static constexpr std::size_t kNumBins = 32;
+
+  void record_ns(std::int64_t ns) noexcept;
+  void record_seconds(double s) noexcept {
+    record_ns(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept;
+  /// Total accumulated time in seconds.
+  [[nodiscard]] double sum_seconds() const noexcept;
+  [[nodiscard]] double min_seconds() const noexcept;  // 0 when empty
+  [[nodiscard]] double max_seconds() const noexcept;
+  [[nodiscard]] std::array<std::int64_t, kNumBins> bins() const noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] static std::size_t bin_index(std::int64_t ns) noexcept;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<double> sum_ns{0.0};
+    // +inf so the running atomic-min needs no first-sample special case.
+    std::atomic<double> min_ns{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_ns{0.0};
+    std::array<std::atomic<std::int64_t>, kNumBins> bins{};
+  };
+  std::array<Cell, detail::kStripes> cells_;
+};
+
+/// Point-in-time copy of the whole registry; plain data, safe to keep.
+struct Snapshot {
+  struct Entry {
+    std::string name;
+    std::string kind;  ///< "counter" | "gauge" | "timer"
+    double value = 0.0;  ///< counter total / gauge value / timer sum (sec)
+    std::int64_t count = 0;  ///< timer sample count (0 otherwise)
+    double min = 0.0;        ///< timer min (sec)
+    double max = 0.0;        ///< timer max (sec)
+    std::vector<std::int64_t> bins;  ///< timer bins (empty otherwise)
+  };
+  std::vector<Entry> entries;  ///< sorted by (name, kind)
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+  /// Counter total / gauge value / timer sum, or `fallback` if absent.
+  [[nodiscard]] double value_or(std::string_view name,
+                                double fallback = 0.0) const noexcept;
+
+  [[nodiscard]] std::string to_json() const;
+  /// CSV with header "name,kind,count,value,min,max" (bins omitted).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Name -> metric store. Lookup takes a mutex (registration is cold);
+/// instrumentation sites cache the returned reference in a static local so
+/// the hot path touches only the metric's own atomics.
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimeHist& timer(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Zero every metric in place; references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<TimeHist>, std::less<>> timers_;
+};
+
+}  // namespace rshc::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Umbrella header for the observability subsystem: metrics registry + span
+// tracer + the instrumentation macros the rest of the library uses.
+//
+// Two gates, per DESIGN.md:
+//  - compile time: the CMake option RSHC_OBS (default ON) defines
+//    RSHC_OBS_ENABLED. With RSHC_OBS=OFF every macro below expands to
+//    nothing, so instrumented hot paths carry no tracer calls at all (the
+//    CI job checks the solver object code for leaked obs symbols).
+//  - runtime: obs::enabled() (env RSHC_OBS=0 to disable) gates metric
+//    accumulation; obs::tracing_active() (env RSHC_TRACE=1 to enable)
+//    additionally gates span recording.
+//
+// The macros cache the Registry lookup in a function-local static, so the
+// steady-state cost of a disabled-at-runtime site is one relaxed load and
+// a branch; an enabled site adds two clock reads and a striped atomic add.
+
+#include "rshc/obs/metrics.hpp"
+#include "rshc/obs/trace.hpp"
+
+#ifndef RSHC_OBS_ENABLED
+#define RSHC_OBS_ENABLED 1
+#endif
+
+namespace rshc::obs {
+
+/// Combined phase instrumentation: one clock-read pair feeds both a
+/// registry TimeHist and (when tracing) a trace span.
+class PhaseScope {
+ public:
+  PhaseScope(TimeHist& hist, const char* name, const char* cat,
+             std::int64_t id = -1) noexcept {
+    if (enabled()) {
+      hist_ = &hist;
+      name_ = name;
+      cat_ = cat;
+      id_ = id;
+      trace_ = tracing_active();
+      t0_ = now_ns();
+    }
+  }
+  ~PhaseScope() {
+    if (hist_ != nullptr) {
+      const std::int64_t t1 = now_ns();
+      hist_->record_ns(t1 - t0_);
+      if (trace_) Tracer::global().record_span(name_, cat_, id_, t0_, t1);
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  TimeHist* hist_ = nullptr;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t id_ = -1;
+  std::int64_t t0_ = 0;
+  bool trace_ = false;
+};
+
+/// Write the registry CSV and/or the Chrome trace JSON next to a run's
+/// other outputs when the environment asks for it: RSHC_DUMP_METRICS=1
+/// writes <prefix>.metrics.csv, RSHC_DUMP_TRACE=1 writes
+/// <prefix>.trace.json. Used by the bench harnesses with
+/// prefix = "bench_results/<id>". No-op otherwise.
+void maybe_dump(const std::string& prefix);
+
+}  // namespace rshc::obs
+
+#define RSHC_OBS_CONCAT_INNER(a, b) a##b
+#define RSHC_OBS_CONCAT(a, b) RSHC_OBS_CONCAT_INNER(a, b)
+
+#if RSHC_OBS_ENABLED
+
+/// Increment counter `name` (string literal) by n.
+#define RSHC_OBS_COUNT(name, n)                                         \
+  do {                                                                  \
+    if (::rshc::obs::enabled()) {                                       \
+      static ::rshc::obs::Counter& rshc_obs_counter_site =              \
+          ::rshc::obs::Registry::global().counter(name);                \
+      rshc_obs_counter_site.add(n);                                     \
+    }                                                                   \
+  } while (false)
+
+/// Set gauge `name` (string literal) to v.
+#define RSHC_OBS_GAUGE(name, v)                                         \
+  do {                                                                  \
+    if (::rshc::obs::enabled()) {                                       \
+      static ::rshc::obs::Gauge& rshc_obs_gauge_site =                  \
+          ::rshc::obs::Registry::global().gauge(name);                  \
+      rshc_obs_gauge_site.set(v);                                       \
+    }                                                                   \
+  } while (false)
+
+/// Time the rest of the enclosing scope into TimeHist `name` and, when
+/// tracing, emit a span (name/cat literals; id is a small integer arg).
+#define RSHC_OBS_PHASE(name, cat, id)                                   \
+  static ::rshc::obs::TimeHist& RSHC_OBS_CONCAT(rshc_obs_hist_,         \
+                                                __LINE__) =             \
+      ::rshc::obs::Registry::global().timer(name);                      \
+  ::rshc::obs::PhaseScope RSHC_OBS_CONCAT(rshc_obs_phase_, __LINE__)(   \
+      RSHC_OBS_CONCAT(rshc_obs_hist_, __LINE__), name, cat, id)
+
+/// Trace-only span for the rest of the enclosing scope (no registry).
+#define RSHC_TRACE_SCOPE(name, cat, id)                                 \
+  ::rshc::obs::TraceScope RSHC_OBS_CONCAT(rshc_obs_trace_, __LINE__)(   \
+      name, cat, id)
+
+#else  // !RSHC_OBS_ENABLED
+
+#define RSHC_OBS_COUNT(name, n) ((void)0)
+#define RSHC_OBS_GAUGE(name, v) ((void)0)
+#define RSHC_OBS_PHASE(name, cat, id) ((void)0)
+#define RSHC_TRACE_SCOPE(name, cat, id) ((void)0)
+
+#endif  // RSHC_OBS_ENABLED

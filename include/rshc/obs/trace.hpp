@@ -1,0 +1,107 @@
+#pragma once
+// Span tracer (DESIGN.md system: observability). RAII TraceScope records
+// (name, category, id, begin, end) spans into per-thread ring buffers owned
+// by the process-wide Tracer; export produces Chrome trace-event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev) so task-graph
+// execution, halo exchanges, and offload transfers can be inspected on a
+// timeline.
+//
+// Span names and categories must be string literals (or otherwise
+// static-duration strings): the ring stores the pointers, never copies.
+// Recording is gated by tracing_active() — a couple of relaxed atomic
+// loads — and each thread writes only its own ring, so tracing that is
+// compiled in but switched off costs one branch per scope.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rshc::obs {
+
+/// True when spans are being recorded: requires the master obs switch
+/// (enabled()) plus the tracing flag. The flag defaults to off; the
+/// environment variable RSHC_TRACE=1 (or set_tracing(true)) turns it on.
+[[nodiscard]] bool tracing_active() noexcept;
+void set_tracing(bool on) noexcept;
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-duration string
+  const char* cat = nullptr;   ///< static-duration string
+  std::int64_t id = -1;        ///< optional small argument (block id, rank)
+  std::int64_t t0_ns = 0;      ///< span begin, now_ns() clock
+  std::int64_t t1_ns = 0;      ///< span end
+  std::uint32_t tid = 0;       ///< recording thread (registration order)
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Append a completed span to the calling thread's ring.
+  void record_span(const char* name, const char* cat, std::int64_t id,
+                   std::int64_t t0_ns, std::int64_t t1_ns);
+
+  /// All buffered events merged across threads, sorted by begin time.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}, "X" complete events).
+  void write_chrome_json(std::ostream& os) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+  /// Drop all buffered events (rings stay allocated).
+  void clear();
+
+  /// Ring capacity in events per thread; applies to new rings and resets
+  /// existing ones. Default 65536. When a ring is full the oldest events
+  /// are overwritten and dropped() grows.
+  void set_ring_capacity(std::size_t events_per_thread);
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+ private:
+  struct Ring;
+  Ring& my_ring();
+
+  mutable std::mutex mutex_;  // guards the ring list + capacity
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = 65536;
+};
+
+/// RAII span: measures construction-to-destruction and records it if
+/// tracing was active at construction.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const char* cat = "rshc",
+                      std::int64_t id = -1) noexcept {
+    if (tracing_active()) {
+      name_ = name;
+      cat_ = cat;
+      id_ = id;
+      t0_ = now_ns();
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) {
+      Tracer::global().record_span(name_, cat_, id_, t0_, now_ns());
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t id_ = -1;
+  std::int64_t t0_ = 0;
+};
+
+}  // namespace rshc::obs

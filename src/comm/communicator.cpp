@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "rshc/obs/obs.hpp"
+
 namespace rshc::comm {
 
 std::chrono::steady_clock::duration TransferModel::flight_time(
@@ -77,6 +79,10 @@ int Communicator::size() const { return world_->size(); }
 
 void Communicator::send_bytes(int dest, int tag,
                               std::span<const std::byte> payload) {
+  RSHC_TRACE_SCOPE("comm.send", "comm", dest);
+  RSHC_OBS_COUNT("comm.messages_sent", 1);
+  RSHC_OBS_COUNT("comm.bytes_sent",
+                 static_cast<std::int64_t>(payload.size()));
   World::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -87,6 +93,8 @@ void Communicator::send_bytes(int dest, int tag,
 }
 
 int Communicator::recv_bytes(int source, int tag, std::span<std::byte> out) {
+  RSHC_TRACE_SCOPE("comm.recv", "comm", source);
+  RSHC_OBS_COUNT("comm.messages_received", 1);
   World::Message msg = world_->take_matching(rank_, source, tag);
   RSHC_REQUIRE(msg.payload.size() == out.size(),
                "recv size mismatch: expected " + std::to_string(out.size()) +
@@ -97,12 +105,15 @@ int Communicator::recv_bytes(int source, int tag, std::span<std::byte> out) {
 
 std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
                                                     int* actual_source) {
+  RSHC_TRACE_SCOPE("comm.recv", "comm", source);
+  RSHC_OBS_COUNT("comm.messages_received", 1);
   World::Message msg = world_->take_matching(rank_, source, tag);
   if (actual_source != nullptr) *actual_source = msg.source;
   return std::move(msg.payload);
 }
 
 void Communicator::barrier() {
+  RSHC_TRACE_SCOPE("comm.barrier", "comm", rank_);
   std::unique_lock lock(world_->coll_mutex_);
   const long long gen = world_->coll_generation_;
   if (++world_->coll_count_ == world_->size_) {
@@ -116,6 +127,7 @@ void Communicator::barrier() {
 }
 
 void Communicator::allreduce(std::span<double> values, ReduceOp op) {
+  RSHC_TRACE_SCOPE("comm.allreduce", "comm", rank_);
   auto combine = [op](double a, double b) {
     switch (op) {
       case ReduceOp::kSum: return a + b;

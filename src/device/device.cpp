@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "rshc/common/error.hpp"
+#include "rshc/obs/obs.hpp"
 
 namespace rshc::device {
 
@@ -103,34 +104,34 @@ class AccelDevice final : public Device {
     RSHC_REQUIRE(host.size() == dst.size(), "upload size mismatch");
     const double cost = transfer_cost(host.size_bytes());
     auto d = dst.device_view();
-    return enqueue(
-        [host, d, cost] {
-          model_sleep(cost);
-          std::memcpy(d.data(), host.data(), host.size_bytes());
-        });
+    return enqueue("accel.upload",
+                   [host, d, cost] {
+                     model_sleep(cost);
+                     std::memcpy(d.data(), host.data(), host.size_bytes());
+                   });
   }
 
   Event download_async(const Buffer& src, std::span<double> host) override {
     RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
     const double cost = transfer_cost(host.size_bytes());
     auto s = src.device_view();
-    return enqueue(
-        [host, s, cost] {
-          model_sleep(cost);
-          std::memcpy(host.data(), s.data(), host.size_bytes());
-        });
+    return enqueue("accel.download",
+                   [host, s, cost] {
+                     model_sleep(cost);
+                     std::memcpy(host.data(), s.data(), host.size_bytes());
+                   });
   }
 
   Event launch(std::function<void()> kernel, std::size_t work_items) override {
     const double overhead = work_items > 0 ? model_.launch_overhead_sec : 0.0;
-    return enqueue([kernel = std::move(kernel), overhead] {
+    return enqueue("accel.kernel", [kernel = std::move(kernel), overhead] {
       model_sleep(overhead);
       kernel();
     });
   }
 
   void synchronize() override {
-    Event fence = enqueue([] {});
+    Event fence = enqueue("accel.fence", [] {});
     fence.wait();
   }
 
@@ -145,12 +146,20 @@ class AccelDevice final : public Device {
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
 
-  Event enqueue(std::function<void()> op) {
+  // Stream op tagged with a static-duration name so the in-order worker
+  // thread shows each op as a span on its own trace track.
+  struct StreamOp {
+    const char* name = "";
+    std::function<void()> fn;
+    Event event;
+  };
+
+  Event enqueue(const char* name, std::function<void()> op) {
     Event e;
     {
       std::scoped_lock lock(mutex_);
       RSHC_REQUIRE(!stopping_, "submit to destroyed accelerator");
-      queue_.emplace_back(std::move(op), e);
+      queue_.push_back(StreamOp{name, std::move(op), e});
     }
     cv_.notify_one();
     return e;
@@ -158,7 +167,7 @@ class AccelDevice final : public Device {
 
   void worker_loop(const std::stop_token& st) {
     for (;;) {
-      std::pair<std::function<void()>, Event> item;
+      StreamOp item;
       {
         std::unique_lock lock(mutex_);
         cv_.wait(lock, st, [this] { return !queue_.empty() || stopping_; });
@@ -166,8 +175,11 @@ class AccelDevice final : public Device {
         item = std::move(queue_.front());
         queue_.pop_front();
       }
-      item.first();
-      item.second.set();
+      {
+        RSHC_TRACE_SCOPE(item.name, "device", id_);
+        item.fn();
+      }
+      item.event.set();
     }
   }
 
@@ -175,7 +187,7 @@ class AccelDevice final : public Device {
   int id_;
   std::mutex mutex_;
   std::condition_variable_any cv_;
-  std::deque<std::pair<std::function<void()>, Event>> queue_;
+  std::deque<StreamOp> queue_;
   bool stopping_ = false;
   std::jthread worker_;
 };

@@ -1,0 +1,36 @@
+#include "rshc/obs/obs.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace rshc::obs {
+
+namespace {
+
+bool env_on(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "OFF" || s == "false");
+}
+
+}  // namespace
+
+void maybe_dump(const std::string& prefix) {
+  if (env_on("RSHC_DUMP_METRICS")) {
+    const std::string path = prefix + ".metrics.csv";
+    std::ofstream os(path);
+    if (os.good()) {
+      os << Registry::global().snapshot().to_csv();
+      std::cout << "[metrics: " << path << "]\n";
+    }
+  }
+  if (env_on("RSHC_DUMP_TRACE")) {
+    const std::string path = prefix + ".trace.json";
+    Tracer::global().write_chrome_json_file(path);
+    std::cout << "[trace: " << path << "]\n";
+  }
+}
+
+}  // namespace rshc::obs

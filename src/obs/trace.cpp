@@ -1,0 +1,185 @@
+#include "rshc/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "rshc/common/error.hpp"
+#include "rshc/obs/metrics.hpp"
+
+namespace rshc::obs {
+
+namespace {
+
+std::atomic<bool>& tracing_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* v = std::getenv("RSHC_TRACE");
+    if (v == nullptr || *v == '\0') return false;
+    const std::string s(v);
+    return !(s == "0" || s == "off" || s == "OFF" || s == "false");
+  }()};
+  return flag;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool tracing_active() noexcept {
+  return tracing_flag().load(std::memory_order_relaxed) && enabled();
+}
+
+void set_tracing(bool on) noexcept {
+  if (on) (void)trace_epoch();  // pin the epoch no later than enablement
+  tracing_flag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+// Fixed-capacity overwrite-oldest ring. Writers are single-threaded (each
+// thread owns one ring); the mutex only serializes against export/clear.
+struct Tracer::Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> buf;
+  std::size_t next = 0;        // slot for the next event
+  std::uint64_t written = 0;   // lifetime events recorded
+  std::uint32_t tid = 0;
+
+  explicit Ring(std::size_t capacity, std::uint32_t tid_in) : tid(tid_in) {
+    buf.resize(capacity);
+  }
+
+  void push(const TraceEvent& ev) {
+    std::scoped_lock lock(mutex);
+    buf[next] = ev;
+    next = (next + 1) % buf.size();
+    ++written;
+  }
+};
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Ring& Tracer::my_ring() {
+  thread_local Ring* mine = nullptr;
+  thread_local const Tracer* owner = nullptr;
+  if (mine == nullptr || owner != this) {
+    std::scoped_lock lock(mutex_);
+    rings_.push_back(std::make_unique<Ring>(
+        capacity_, static_cast<std::uint32_t>(rings_.size())));
+    mine = rings_.back().get();
+    owner = this;
+  }
+  return *mine;
+}
+
+void Tracer::record_span(const char* name, const char* cat, std::int64_t id,
+                         std::int64_t t0_ns, std::int64_t t1_ns) {
+  Ring& ring = my_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.id = id;
+  ev.t0_ns = t0_ns;
+  ev.t1_ns = t1_ns;
+  ev.tid = ring.tid;
+  ring.push(ev);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::scoped_lock lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::scoped_lock rlock(ring->mutex);
+    const std::size_t cap = ring->buf.size();
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ring->written, cap));
+    // Oldest-first: when wrapped, the oldest live event sits at `next`.
+    const std::size_t start = ring->written > cap ? ring->next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring->buf[(start + i) % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.t0_ns != b.t0_ns ? a.t0_ns < b.t0_ns
+                                        : a.t1_ns > b.t1_ns;
+            });
+  return out;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const auto evs = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const auto& ev : evs) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << (ev.name != nullptr ? ev.name : "")
+       << "\",\"cat\":\"" << (ev.cat != nullptr ? ev.cat : "")
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.tid;
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(ev.t0_ns) / 1e3,
+                  static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3);
+    os << buf;
+    if (ev.id >= 0) os << ",\"args\":{\"id\":" << ev.id << "}";
+    os << "}";
+  }
+  os << "]}";
+}
+
+void Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  RSHC_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  write_chrome_json(os);
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  for (auto& ring : rings_) {
+    std::scoped_lock rlock(ring->mutex);
+    ring->next = 0;
+    ring->written = 0;
+  }
+}
+
+void Tracer::set_ring_capacity(std::size_t events_per_thread) {
+  RSHC_REQUIRE(events_per_thread >= 1, "trace ring capacity must be >= 1");
+  std::scoped_lock lock(mutex_);
+  capacity_ = events_per_thread;
+  for (auto& ring : rings_) {
+    std::scoped_lock rlock(ring->mutex);
+    ring->buf.assign(events_per_thread, TraceEvent{});
+    ring->next = 0;
+    ring->written = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t d = 0;
+  std::scoped_lock lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::scoped_lock rlock(ring->mutex);
+    const auto cap = static_cast<std::uint64_t>(ring->buf.size());
+    if (ring->written > cap) d += ring->written - cap;
+  }
+  return d;
+}
+
+}  // namespace rshc::obs

@@ -1,6 +1,7 @@
 #include "rshc/parallel/task_graph.hpp"
 
 #include "rshc/common/error.hpp"
+#include "rshc/obs/obs.hpp"
 #include "rshc/parallel/thread_pool.hpp"
 
 namespace rshc::parallel {
@@ -20,11 +21,13 @@ TaskGraph::NodeId TaskGraph::add(std::function<void()> fn,
 
 void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
   try {
+    RSHC_TRACE_SCOPE("graph.node", "graph", static_cast<std::int64_t>(id));
     nodes_[id].fn();
   } catch (...) {
     std::scoped_lock lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
   }
+  RSHC_OBS_COUNT("graph.nodes_run", 1);
   release_dependents(pool, id);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     done_.set_value();

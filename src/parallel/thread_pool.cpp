@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "rshc/common/error.hpp"
+#include "rshc/obs/obs.hpp"
 
 namespace rshc::parallel {
 
@@ -31,6 +32,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
     std::scoped_lock lock(mutex_);
     RSHC_REQUIRE(!stopping_, "enqueue on stopped thread pool");
     queue_.push_back(std::move(fn));
+    RSHC_OBS_GAUGE("pool.queue_depth", static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -50,7 +52,11 @@ void ThreadPool::worker_loop(const std::stop_token& st) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      RSHC_TRACE_SCOPE("pool.task", "pool", -1);
+      task();
+    }
+    RSHC_OBS_COUNT("pool.tasks", 1);
   }
 }
 

@@ -1,6 +1,7 @@
 #include "rshc/solver/distributed.hpp"
 
 #include "rshc/mesh/decomposition.hpp"
+#include "rshc/obs/obs.hpp"
 
 namespace rshc::solver {
 namespace {
@@ -45,6 +46,7 @@ void DistributedSolver<Physics>::initialize(
 
 template <typename Physics>
 void DistributedSolver<Physics>::exchange_halos() {
+  RSHC_TRACE_SCOPE("halo.exchange", "comm", comm_.rank());
   mesh::Block& blk = local_.block(0);
   const int me = comm_.rank();
   for (int axis = 0; axis < grid_.ndim(); ++axis) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rshc/obs/obs.hpp"
+
 namespace rshc::solver {
 
 // Per-block pencil work arrays, sized once for the longest axis.
@@ -99,6 +101,7 @@ void FvSolver<Physics>::initialize(
 
 template <typename Physics>
 void FvSolver<Physics>::exchange_block(int b) {
+  RSHC_OBS_PHASE("solver.phase.exchange", "solver", b);
   if (ghost_filler_) {
     ghost_filler_(b);
     return;
@@ -130,6 +133,7 @@ void FvSolver<Physics>::fill_all_ghosts() {
 
 template <typename Physics>
 void FvSolver<Physics>::compute_rhs(int b) {
+  RSHC_OBS_PHASE("solver.phase.rhs", "solver", b);
   mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
   mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
   Scratch& s = *scratch_[static_cast<std::size_t>(b)];
@@ -213,20 +217,36 @@ void FvSolver<Physics>::update_block(int b, time::StageCoeffs coeffs,
   const mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
   auto& u = blk.cons();
   auto& w = blk.prim();
+  {
+    // RK convex combination into the conservative field.
+    RSHC_OBS_PHASE("solver.phase.update", "solver", b);
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const Cons ref = Physics::load_cons(u0, k, j, i);
+          const Cons cur = Physics::load_cons(u, k, j, i);
+          const Cons rhs = Physics::load_cons(du, k, j, i);
+          const Cons next =
+              coeffs.a * ref + coeffs.b * cur + (coeffs.c * dt) * rhs;
+          Physics::store_cons(u, k, j, i, next);
+        }
+      }
+    }
+  }
   C2PStats stats;
-  for (int k = blk.begin(2); k < blk.end(2); ++k) {
-    for (int j = blk.begin(1); j < blk.end(1); ++j) {
-      for (int i = blk.begin(0); i < blk.end(0); ++i) {
-        const Cons ref = Physics::load_cons(u0, k, j, i);
-        const Cons cur = Physics::load_cons(u, k, j, i);
-        const Cons rhs = Physics::load_cons(du, k, j, i);
-        const Cons next =
-            coeffs.a * ref + coeffs.b * cur + (coeffs.c * dt) * rhs;
-        Physics::store_cons(u, k, j, i, next);
-        const Prim p = Physics::to_prim(next, opt_.physics, stats);
-        Physics::store_prim(w, k, j, i, p);
-        // Keep cons consistent when the atmosphere policy rewrote prims.
-        // (to_prim never throws; floored zones must not leave stale cons.)
+  {
+    // Primitive recovery reads back the freshly stored conservatives, so
+    // the result is bitwise identical to the previously fused loop.
+    RSHC_OBS_PHASE("solver.phase.c2p", "solver", b);
+    for (int k = blk.begin(2); k < blk.end(2); ++k) {
+      for (int j = blk.begin(1); j < blk.end(1); ++j) {
+        for (int i = blk.begin(0); i < blk.end(0); ++i) {
+          const Cons next = Physics::load_cons(u, k, j, i);
+          const Prim p = Physics::to_prim(next, opt_.physics, stats);
+          Physics::store_prim(w, k, j, i, p);
+          // Keep cons consistent when the atmosphere policy rewrote prims.
+          // (to_prim never throws; floored zones must not leave stale cons.)
+        }
       }
     }
   }
@@ -235,6 +255,7 @@ void FvSolver<Physics>::update_block(int b, time::StageCoeffs coeffs,
 
 template <typename Physics>
 void FvSolver<Physics>::save_state() {
+  RSHC_OBS_PHASE("solver.phase.other", "solver", -1);
   for (int b = 0; b < num_blocks(); ++b) {
     const auto src = blocks_[static_cast<std::size_t>(b)].cons().flat();
     auto dst = u0_[static_cast<std::size_t>(b)].flat();
@@ -244,6 +265,7 @@ void FvSolver<Physics>::save_state() {
 
 template <typename Physics>
 void FvSolver<Physics>::post_step_all() {
+  RSHC_OBS_PHASE("solver.phase.other", "solver", -1);
   for (int b = 0; b < num_blocks(); ++b) {
     auto& blk = blocks_[static_cast<std::size_t>(b)];
     Physics::post_step(blk.cons(), blk.prim(), opt_.physics, current_dt_,
@@ -307,6 +329,8 @@ void FvSolver<Physics>::stage_serial(int stage, double dt) {
 
 template <typename Physics>
 void FvSolver<Physics>::step(double dt) {
+  RSHC_OBS_PHASE("solver.step", "solver", -1);
+  RSHC_OBS_COUNT("solver.steps", 1);
   current_dt_ = dt;
   WallTimer t;
   save_state();
@@ -323,6 +347,8 @@ void FvSolver<Physics>::step(double dt) {
 template <typename Physics>
 void FvSolver<Physics>::step_parallel(double dt, parallel::ThreadPool& pool,
                                       bool dataflow) {
+  RSHC_OBS_PHASE("solver.step", "solver", -1);
+  RSHC_OBS_COUNT("solver.steps", 1);
   if (dataflow) {
     current_dt_ = dt;
     save_state();
@@ -434,6 +460,8 @@ parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
 template <typename Physics>
 void FvSolver<Physics>::run_steps_dataflow(int nsteps, double dt,
                                            parallel::ThreadPool& pool) {
+  RSHC_TRACE_SCOPE("solver.run_steps_dataflow", "solver", nsteps);
+  RSHC_OBS_COUNT("solver.steps", nsteps);
   current_dt_ = dt;
   // save_state happens inside the first-stage E nodes (per block).
   step_graph(nsteps).run(pool);

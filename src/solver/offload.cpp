@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rshc/common/timer.hpp"
+#include "rshc/obs/obs.hpp"
 #include "rshc/srhd/state.hpp"
 
 namespace rshc::solver {
@@ -16,6 +17,7 @@ OffloadStats offload_cons_to_prim(device::Device& dev, mesh::Block& blk,
       static_cast<std::size_t>(blk.interior(1)) *
       static_cast<std::size_t>(blk.interior(2));
   stats.zones = n;
+  RSHC_OBS_COUNT("offload.zones", static_cast<std::int64_t>(n));
 
   // Gather interior cons into contiguous staging arrays.
   std::array<std::vector<double>, srhd::kNumVars> host_in;
@@ -41,13 +43,16 @@ OffloadStats offload_cons_to_prim(device::Device& dev, mesh::Block& blk,
   std::array<device::Buffer, srhd::kNumVars> in_buf;
   std::array<device::Buffer, srhd::kNumVars> out_buf;
   WallTimer timer;
-  for (int v = 0; v < srhd::kNumVars; ++v) {
-    in_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
-    out_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
-    dev.upload_async(host_in[static_cast<std::size_t>(v)],
-                     in_buf[static_cast<std::size_t>(v)]);
+  {
+    RSHC_OBS_PHASE("offload.upload", "device", -1);
+    for (int v = 0; v < srhd::kNumVars; ++v) {
+      in_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
+      out_buf[static_cast<std::size_t>(v)] = dev.alloc(n);
+      dev.upload_async(host_in[static_cast<std::size_t>(v)],
+                       in_buf[static_cast<std::size_t>(v)]);
+    }
+    dev.synchronize();
   }
-  dev.synchronize();
   stats.upload_seconds = timer.seconds();
 
   // Launch the batch on the device's stream; variant by backend.
@@ -66,27 +71,33 @@ OffloadStats offload_cons_to_prim(device::Device& dev, mesh::Block& blk,
   const auto opt = ctx.c2p;
   srhd::kernels::BatchStats batch;
   timer.reset();
-  dev.launch(
-      [=, &batch] {
-        batch = scalar
-                    ? srhd::kernels::scalar::cons_to_prim_n(
-                          n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
-                          opt)
-                    : srhd::kernels::simd::cons_to_prim_n(
-                          n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
-                          opt);
-      },
-      n);
-  dev.synchronize();
+  {
+    RSHC_OBS_PHASE("offload.kernel", "device", -1);
+    dev.launch(
+        [=, &batch] {
+          batch = scalar
+                      ? srhd::kernels::scalar::cons_to_prim_n(
+                            n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
+                            opt)
+                      : srhd::kernels::simd::cons_to_prim_n(
+                            n, d, sx, sy, sz, tau, rho, vx, vy, vz, p, gamma,
+                            opt);
+        },
+        n);
+    dev.synchronize();
+  }
   stats.kernel_seconds = timer.seconds();
   stats.batch = batch;
 
   timer.reset();
-  for (int v = 0; v < srhd::kNumVars; ++v) {
-    dev.download_async(out_buf[static_cast<std::size_t>(v)],
-                       host_out[static_cast<std::size_t>(v)]);
+  {
+    RSHC_OBS_PHASE("offload.download", "device", -1);
+    for (int v = 0; v < srhd::kNumVars; ++v) {
+      dev.download_async(out_buf[static_cast<std::size_t>(v)],
+                         host_out[static_cast<std::size_t>(v)]);
+    }
+    dev.synchronize();
   }
-  dev.synchronize();
   stats.download_seconds = timer.seconds();
 
   // Scatter primitives back into the block.

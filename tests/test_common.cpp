@@ -174,4 +174,25 @@ TEST(Timer, AccumulatesMonotonically) {
   EXPECT_EQ(acc.seconds(), 0.0);
 }
 
+TEST(Timer, AccumMisusePolicy) {
+#ifndef NDEBUG
+  // Debug builds: unpaired start/stop is an invariant violation.
+  AccumTimer acc;
+  EXPECT_THROW(acc.stop(), Error);  // stop without start
+  acc.start();
+  EXPECT_THROW(acc.start(), Error);  // start while running
+  acc.stop();  // proper pairing still works afterwards
+  EXPECT_GE(acc.seconds(), 0.0);
+#else
+  // NDEBUG builds: misuse is ignored and accumulates nothing.
+  AccumTimer acc;
+  acc.stop();
+  EXPECT_EQ(acc.seconds(), 0.0);
+  acc.start();
+  acc.start();
+  acc.stop();
+  EXPECT_GE(acc.seconds(), 0.0);
+#endif
+}
+
 }  // namespace

@@ -1,0 +1,440 @@
+// Unit tests for the observability layer: metric semantics, lock-free
+// multi-threaded accumulation, snapshot isolation, and the Chrome
+// trace-event exporter (parsed back with a minimal JSON reader).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rshc/obs/obs.hpp"
+
+namespace {
+
+using namespace rshc;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — just enough to parse the tracer's
+// own output ({"traceEvents":[{...},...]}): objects, arrays, strings with
+// simple escapes, and doubles.
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue null_value;
+    const auto it = object.find(key);
+    return it != object.end() ? it->second : null_value;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.find(key) != object.end();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text)
+      : owned_(std::move(text)), text_(owned_) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // unwind
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      return parse_number();
+    }
+    fail("unexpected character");
+    return {};
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) fail("expected '{'");
+    if (consume('}')) return v;
+    do {
+      JsonValue key = parse_string();
+      if (!consume(':')) fail("expected ':'");
+      v.object.emplace(key.string, parse_value());
+    } while (consume(','));
+    if (!consume('}')) fail("expected '}'");
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) fail("expected '['");
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ']'");
+    return v;
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!consume('"')) fail("expected '\"'");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        c = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+      }
+      v.string.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    v.number = std::strtod(begin, &end);
+    if (end == begin) fail("bad number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string owned_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Every obs test starts from a clean global registry/tracer and restores
+/// the default switches (metrics on, tracing off) afterwards — the
+/// singletons are process-wide and other suites share them.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::set_tracing(false);
+    obs::Registry::global().reset();
+    obs::Tracer::global().clear();
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::set_enabled(true);
+    obs::Tracer::global().set_ring_capacity(65536);
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  auto& c = obs::Registry::global().counter("t.counter");
+  EXPECT_EQ(c.total(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.total(), 42);
+  // Same name returns the same metric.
+  EXPECT_EQ(&obs::Registry::global().counter("t.counter"), &c);
+  c.reset();
+  EXPECT_EQ(c.total(), 0);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  auto& g = obs::Registry::global().gauge("t.gauge");
+  g.set(3.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, TimeHistStatisticsAndBins) {
+  auto& h = obs::Registry::global().timer("t.hist");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0);  // empty
+  h.record_ns(1000);
+  h.record_ns(3000);
+  h.record_ns(500);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 4500e-9);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 500e-9);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 3000e-9);
+
+  // Bin i covers [2^i, 2^(i+1)) ns.
+  EXPECT_EQ(obs::TimeHist::bin_index(0), 0u);
+  EXPECT_EQ(obs::TimeHist::bin_index(1), 0u);
+  EXPECT_EQ(obs::TimeHist::bin_index(1023), 9u);
+  EXPECT_EQ(obs::TimeHist::bin_index(1024), 10u);
+  EXPECT_EQ(obs::TimeHist::bin_index(std::int64_t{1} << 62),
+            obs::TimeHist::kNumBins - 1);  // clamped open-ended last bin
+  const auto bins = h.bins();
+  std::int64_t binned = 0;
+  for (const auto b : bins) binned += b;
+  EXPECT_EQ(binned, 3);
+  EXPECT_EQ(bins[obs::TimeHist::bin_index(500)], 1);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0);
+}
+
+TEST_F(ObsTest, NegativeDurationsClampToZero) {
+  auto& h = obs::Registry::global().timer("t.hist.neg");
+  h.record_ns(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.0);
+}
+
+TEST_F(ObsTest, MultiThreadedAccumulationIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  auto& c = obs::Registry::global().counter("t.mt.counter");
+  auto& h = obs::Registry::global().timer("t.mt.hist");
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c, &h, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          c.add();
+          h.record_ns(t + 1);  // per-thread distinct value
+        }
+      });
+    }
+  }
+  EXPECT_EQ(c.total(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), kThreads * 1e-9);
+}
+
+TEST_F(ObsTest, SnapshotIsIsolatedFromLaterUpdates) {
+  auto& c = obs::Registry::global().counter("t.snap.counter");
+  c.add(7);
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  c.add(100);  // must not retro-modify the snapshot
+  const auto* e = snap.find("t.snap.counter");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, "counter");
+  EXPECT_DOUBLE_EQ(e->value, 7.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("t.snap.counter"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("no.such.metric", -1.0), -1.0);
+  EXPECT_EQ(snap.find("no.such.metric"), nullptr);
+}
+
+TEST_F(ObsTest, SnapshotSerializesSortedCsvAndJson) {
+  obs::Registry::global().counter("t.ser.b").add(2);
+  obs::Registry::global().counter("t.ser.a").add(1);
+  obs::Registry::global().timer("t.ser.t").record_ns(1500);
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+
+  // Entries come back sorted by name.
+  for (std::size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LE(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+
+  const std::string csv = snap.to_csv();
+  EXPECT_EQ(csv.substr(0, 30), "name,kind,count,value,min,max\n");
+  EXPECT_NE(csv.find("t.ser.a,counter,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("t.ser.t,timer,1,"), std::string::npos);
+
+  JsonParser parser(snap.to_json());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const auto& metrics = root.at("metrics");
+  ASSERT_EQ(metrics.kind, JsonValue::Kind::kArray);
+  bool saw_timer = false;
+  for (const auto& m : metrics.array) {
+    if (m.at("name").string == "t.ser.t") {
+      saw_timer = true;
+      EXPECT_EQ(m.at("kind").string, "timer");
+      EXPECT_DOUBLE_EQ(m.at("count").number, 1.0);
+      EXPECT_EQ(m.at("bins").array.size(), obs::TimeHist::kNumBins);
+    }
+  }
+  EXPECT_TRUE(saw_timer);
+}
+
+TEST_F(ObsTest, RuntimeDisableStopsAccumulationViaMacros) {
+#if RSHC_OBS_ENABLED
+  RSHC_OBS_COUNT("t.macro.counter", 1);
+  obs::set_enabled(false);
+  RSHC_OBS_COUNT("t.macro.counter", 1);  // gated off
+  obs::set_enabled(true);
+  RSHC_OBS_COUNT("t.macro.counter", 1);
+  EXPECT_EQ(obs::Registry::global().counter("t.macro.counter").total(), 2);
+#else
+  RSHC_OBS_COUNT("t.macro.counter", 1);  // compiles to nothing
+  EXPECT_EQ(obs::Registry::global().counter("t.macro.counter").total(), 0);
+#endif
+}
+
+TEST_F(ObsTest, TracingRequiresMasterSwitch) {
+  obs::set_tracing(true);
+  EXPECT_TRUE(obs::tracing_active());
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::tracing_active());
+  obs::set_enabled(true);
+  obs::set_tracing(false);
+  EXPECT_FALSE(obs::tracing_active());
+}
+
+TEST_F(ObsTest, TraceScopeRecordsNestedSpans) {
+  obs::set_tracing(true);
+  {
+    obs::TraceScope outer("t.outer", "test", 1);
+    {
+      obs::TraceScope inner("t.inner", "test", 2);
+    }
+  }
+  obs::set_tracing(false);
+  const auto events = obs::Tracer::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by begin time: outer opens first, closes last.
+  EXPECT_STREQ(events[0].name, "t.outer");
+  EXPECT_STREQ(events[1].name, "t.inner");
+  EXPECT_LE(events[0].t0_ns, events[1].t0_ns);
+  EXPECT_GE(events[0].t1_ns, events[1].t1_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[0].id, 1);
+}
+
+TEST_F(ObsTest, ScopesArmedBeforeDisableStillComplete) {
+  obs::set_tracing(true);
+  {
+    obs::TraceScope s("t.straddle", "test");
+    obs::set_tracing(false);  // span was armed at construction
+  }
+  EXPECT_EQ(obs::Tracer::global().events().size(), 1u);
+}
+
+TEST_F(ObsTest, ChromeJsonIsWellFormedAndNested) {
+  obs::set_tracing(true);
+  {
+    obs::TraceScope outer("t.json.outer", "test", 7);
+    obs::TraceScope inner("t.json.inner", "test");
+  }
+  std::jthread([] {
+    obs::TraceScope other("t.json.other_thread", "test");
+  }).join();
+  obs::set_tracing(false);
+
+  std::ostringstream os;
+  obs::Tracer::global().write_chrome_json(os);
+  JsonParser parser(os.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+
+  const auto& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events.array.size(), 3u);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  const JsonValue* other = nullptr;
+  for (const auto& e : events.array) {
+    // Every event is a Chrome "complete" event with the required keys.
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    EXPECT_EQ(e.at("cat").string, "test");
+    EXPECT_GE(e.at("dur").number, 0.0);
+    const std::string& name = e.at("name").string;
+    if (name == "t.json.outer") outer = &e;
+    if (name == "t.json.inner") inner = &e;
+    if (name == "t.json.other_thread") other = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(other, nullptr);
+
+  // Inner nests inside outer on the same track (ts in microseconds).
+  EXPECT_EQ(outer->at("tid").number, inner->at("tid").number);
+  EXPECT_LE(outer->at("ts").number, inner->at("ts").number);
+  EXPECT_GE(outer->at("ts").number + outer->at("dur").number,
+            inner->at("ts").number + inner->at("dur").number);
+  // The other thread gets its own track, and the id argument survives.
+  EXPECT_NE(other->at("tid").number, outer->at("tid").number);
+  EXPECT_DOUBLE_EQ(outer->at("args").at("id").number, 7.0);
+}
+
+TEST_F(ObsTest, RingOverwritesOldestAndCountsDrops) {
+  obs::Tracer::global().set_ring_capacity(16);
+  const std::uint64_t dropped_before = obs::Tracer::global().dropped();
+  obs::set_tracing(true);
+  for (int i = 0; i < 100; ++i) {
+    obs::TraceScope s("t.ring", "test", i);
+  }
+  obs::set_tracing(false);
+  const auto events = obs::Tracer::global().events();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(obs::Tracer::global().dropped() - dropped_before, 84u);
+  // The survivors are the newest 16 spans, still in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, static_cast<std::int64_t>(84 + i));
+  }
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  {
+    obs::TraceScope s("t.off", "test");  // tracing off in SetUp
+  }
+  EXPECT_TRUE(obs::Tracer::global().events().empty());
+}
+
+}  // namespace

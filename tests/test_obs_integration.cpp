@@ -1,0 +1,212 @@
+// Integration tests of the observability layer against the SRHD solver:
+// a traced shock-tube step must produce the expected phase spans in the
+// expected order, registry phase times must nest inside the step total,
+// and a dataflow run must show halo exchange overlapping compute on
+// another thread.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rshc/obs/obs.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+#if RSHC_OBS_ENABLED
+
+namespace {
+
+using namespace rshc;
+using solver::SrhdSolver;
+
+class ObsIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::set_tracing(false);
+    obs::Registry::global().reset();
+    obs::Tracer::global().clear();
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+SrhdSolver::Options sod_opts(std::array<int, 3> blocks = {1, 1, 1}) {
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kOutflow);
+  opt.physics.eos = eos::IdealGas(problems::sod().gamma);
+  opt.blocks = blocks;
+  return opt;
+}
+
+TEST_F(ObsIntegration, SerialStepEmitsOrderedPhaseSpans) {
+  SrhdSolver s(mesh::Grid::make_1d(64, 0.0, 1.0), sod_opts({2, 1, 1}));
+  s.initialize(problems::shock_tube_ic(problems::sod()));
+  obs::set_tracing(true);
+  constexpr int kSteps = 3;
+  for (int i = 0; i < kSteps; ++i) s.step(s.compute_dt());
+  obs::set_tracing(false);
+
+  const auto events = obs::Tracer::global().events();
+  ASSERT_FALSE(events.empty());
+
+  // Per block: spans come in exchange -> rhs -> update -> c2p order within
+  // each stage, so the i-th occurrence of each phase must be strictly
+  // ordered in time, and every c2p begins only after its update ended.
+  std::map<std::string, std::vector<const obs::TraceEvent*>> by_phase[2];
+  std::int64_t steps_seen = 0;
+  for (const auto& e : events) {
+    const std::string name(e.name);
+    if (name == "solver.step") {
+      ++steps_seen;
+      continue;
+    }
+    if (e.id >= 0 && e.id < 2 && name.rfind("solver.phase.", 0) == 0) {
+      by_phase[static_cast<std::size_t>(e.id)]
+          .try_emplace(name)
+          .first->second.push_back(&e);
+    }
+  }
+  EXPECT_EQ(steps_seen, kSteps);
+
+  for (std::size_t b = 0; b < 2; ++b) {
+    const auto& exch = by_phase[b]["solver.phase.exchange"];
+    const auto& rhs = by_phase[b]["solver.phase.rhs"];
+    const auto& upd = by_phase[b]["solver.phase.update"];
+    const auto& c2p = by_phase[b]["solver.phase.c2p"];
+    ASSERT_FALSE(exch.empty()) << "block " << b;
+    ASSERT_EQ(exch.size(), rhs.size());
+    ASSERT_EQ(upd.size(), c2p.size());
+    for (std::size_t i = 0; i < exch.size(); ++i) {
+      // Ghosts are exchanged before the RHS that consumes them.
+      EXPECT_LE(exch[i]->t1_ns, rhs[i]->t0_ns) << "block " << b;
+    }
+    for (std::size_t i = 0; i < upd.size(); ++i) {
+      // Conserved update completes before its con2prim recovery begins.
+      EXPECT_LE(upd[i]->t1_ns, c2p[i]->t0_ns) << "block " << b;
+    }
+  }
+}
+
+TEST_F(ObsIntegration, PhaseTimesNestInsideStepTotal) {
+  SrhdSolver s(mesh::Grid::make_1d(64, 0.0, 1.0), sod_opts());
+  s.initialize(problems::shock_tube_ic(problems::sod()));
+  constexpr int kSteps = 5;
+  for (int i = 0; i < kSteps; ++i) s.step(s.compute_dt());
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("solver.steps"), kSteps);
+
+  const double phase_sum = snap.value_or("solver.phase.exchange") +
+                           snap.value_or("solver.phase.rhs") +
+                           snap.value_or("solver.phase.update") +
+                           snap.value_or("solver.phase.c2p") +
+                           snap.value_or("solver.phase.other");
+  const double step_total = snap.value_or("solver.step");
+  EXPECT_GT(phase_sum, 0.0);
+  // Every phase span nests inside a solver.step span, so the per-phase
+  // times can only sum to less than the step total.
+  EXPECT_LE(phase_sum, step_total);
+
+  const auto* step = snap.find("solver.step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->kind, "timer");
+  EXPECT_EQ(step->count, kSteps);
+  EXPECT_LE(step->min, step->max);
+}
+
+TEST_F(ObsIntegration, RuntimeDisabledSolverRecordsNothing) {
+  obs::set_enabled(false);
+  SrhdSolver s(mesh::Grid::make_1d(64, 0.0, 1.0), sod_opts());
+  s.initialize(problems::shock_tube_ic(problems::sod()));
+  s.step(s.compute_dt());
+  obs::set_enabled(true);
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("solver.steps"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("solver.phase.rhs"), 0.0);
+  EXPECT_TRUE(obs::Tracer::global().events().empty());
+}
+
+TEST_F(ObsIntegration, DataflowTraceShowsExchangeOverlappingCompute) {
+  // A multi-block dataflow run on several workers: some block's halo
+  // exchange must overlap another block's compute on a different thread —
+  // that is the whole point of the futurized schedule.
+  const mesh::Grid grid = mesh::Grid::make_2d(96, 96, 0.0, 1.0, 0.0, 1.0);
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(5.0 / 3.0);
+  opt.blocks = {4, 2, 1};
+  SrhdSolver s(grid, opt);
+  s.initialize([](double x, double y, double) {
+    srhd::Prim w;
+    w.rho = 1.0 + 0.4 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y);
+    w.vx = 0.3;
+    w.vy = -0.2;
+    w.p = 1.0;
+    return w;
+  });
+
+  parallel::ThreadPool pool(4);
+  obs::set_tracing(true);
+  s.run_steps_dataflow(12, 0.002, pool);
+  obs::set_tracing(false);
+
+  const auto events = obs::Tracer::global().events();
+  std::vector<const obs::TraceEvent*> exchanges;
+  std::vector<const obs::TraceEvent*> computes;
+  for (const auto& e : events) {
+    const std::string name(e.name);
+    if (name == "solver.phase.exchange") exchanges.push_back(&e);
+    if (name == "solver.phase.rhs" || name == "solver.phase.update" ||
+        name == "solver.phase.c2p") {
+      computes.push_back(&e);
+    }
+  }
+  ASSERT_FALSE(exchanges.empty());
+  ASSERT_FALSE(computes.empty());
+
+  bool overlap = false;
+  for (const auto* ex : exchanges) {
+    for (const auto* co : computes) {
+      if (ex->tid != co->tid && ex->t0_ns < co->t1_ns &&
+          co->t0_ns < ex->t1_ns) {
+        overlap = true;
+        break;
+      }
+    }
+    if (overlap) break;
+  }
+  EXPECT_TRUE(overlap)
+      << "no halo-exchange span overlapped a compute span on another "
+         "thread across "
+      << exchanges.size() << " exchanges and " << computes.size()
+      << " compute spans";
+
+  // The task-graph nodes themselves were counted.
+  EXPECT_GT(obs::Registry::global().counter("graph.nodes_run").total(), 0);
+}
+
+}  // namespace
+
+#else  // !RSHC_OBS_ENABLED
+
+namespace {
+
+TEST(ObsIntegration, DisabledBuildCompilesWithoutInstrumentation) {
+  // With RSHC_OBS=OFF the macros vanish; nothing to integrate against.
+  SUCCEED();
+}
+
+}  // namespace
+
+#endif  // RSHC_OBS_ENABLED

@@ -121,6 +121,37 @@ TEST(SrhdSolver, ShockTubeMatchesExactSolution) {
   EXPECT_EQ(s.c2p_stats().floored_zones, 0);
 }
 
+// Golden regression: a fixed 64-zone Sod tube run to t_final must land on
+// the committed reference L1 norms to near machine precision. Catches any
+// unintended change to the numerics (reconstruction, Riemann solver, RK
+// update, con2prim) that the physics-based tolerances above are too loose
+// to see. Regenerate the constants only for a *deliberate* scheme change
+// (print the three norms at %.17g from the same configuration).
+TEST(SrhdSolver, SodTubeGoldenRegression) {
+  const problems::ShockTube st = problems::sod();
+  const mesh::Grid g = mesh::Grid::make_1d(64, 0.0, 1.0);
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kOutflow);
+  opt.physics.eos = eos::IdealGas(st.gamma);
+  SrhdSolver s(g, opt);
+  s.initialize(problems::shock_tube_ic(st));
+  const int steps = s.advance_to(st.t_final);
+
+  auto l1_norm = [&s](int v) {
+    const auto q = s.gather_prim_var(v);
+    double sum = 0.0;
+    for (const double x : q) sum += std::abs(x);
+    return sum / static_cast<double>(q.size());
+  };
+
+  EXPECT_EQ(steps, 45);
+  EXPECT_NEAR(s.time(), 0.34999999999999998, 1e-15);
+  EXPECT_NEAR(l1_norm(srhd::kRho), 0.54785385701791078, 1e-12);
+  EXPECT_NEAR(l1_norm(srhd::kVx), 0.16503998510132389, 1e-12);
+  EXPECT_NEAR(l1_norm(srhd::kP), 0.50847999696324442, 1e-12);
+}
+
 TEST(SrhdSolver, ReflectingWallsConserveMass) {
   const mesh::Grid g = mesh::Grid::make_1d(64, 0.0, 1.0);
   SrhdSolver::Options opt = periodic_opts();
