@@ -1,0 +1,161 @@
+#pragma once
+// Runtime correctness checker (rshc::check) — the compiled-away sibling of
+// the observability layer. Where rshc::obs measures, rshc::check *asserts*:
+// physical-state invariants at the c2p and flux boundaries (finite, p > 0,
+// rho > 0, |v| < 1, bounded Lorentz factor), task-graph scheduling
+// invariants (pending counts never negative, every node fires exactly
+// once), and halo-buffer lifecycle rules (a recv buffer may not be read
+// before its exchange completes — see halo_guard.hpp).
+//
+// Gating mirrors RSHC_OBS (see obs/obs.hpp):
+//  - compile time: the CMake option RSHC_CHECKS (AUTO = ON in Debug)
+//    defines RSHC_CHECKS_ENABLED. With it 0, every macro below expands to
+//    ((void)0) and the inline helpers are never referenced, so Release
+//    object code for the solver, c2p, and halo TUs carries no
+//    rshc::check symbols at all (CI proves this with nm).
+//  - runtime: on violation the checker either aborts after printing the
+//    report (the default — a corrupted state must not silently keep
+//    evolving) or, in kCount mode (tests; env RSHC_CHECKS_ABORT=0),
+//    records the report and continues so the caller can assert on it.
+//
+// Violations report the *phase* (c2p, flux, graph, halo, ...) and, where
+// the call site knows them, the block id and zone coordinates — the two
+// things needed to reproduce a bad zone offline.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#ifndef RSHC_CHECKS_ENABLED
+#define RSHC_CHECKS_ENABLED 0
+#endif
+
+namespace rshc::check {
+
+/// What fail() does after recording and printing a violation.
+enum class Action {
+  kAbort,  ///< print the report and std::abort() (default)
+  kCount,  ///< record and continue (tests assert on violation_count())
+};
+
+/// Zone provenance attached to a physical-state violation; block/i/j/k
+/// stay -1 when the call site does not know them (e.g. inside con2prim).
+struct Zone {
+  int block = -1;
+  int i = -1;
+  int j = -1;
+  int k = -1;
+};
+
+/// Process-wide violation sink. Thread-safe. Always compiled (the library
+/// must exist for tests of the OFF configuration); only *referenced* from
+/// RSHC_CHECKS_ENABLED call sites.
+void set_action(Action a) noexcept;
+[[nodiscard]] Action action() noexcept;
+[[nodiscard]] std::int64_t violation_count() noexcept;
+/// Formatted report of the most recent violation ("" when none).
+[[nodiscard]] std::string last_violation();
+/// Reset count + last message (test isolation).
+void reset() noexcept;
+
+/// Record a violation: formats "phase file:line: what [block b zone
+/// (i,j,k)]", stores it, logs to stderr, and aborts in kAbort mode.
+void fail(const char* phase, const char* what, const char* file, int line,
+          Zone zone = {}) noexcept;
+
+/// Largest Lorentz factor accepted by the state validators. The face
+/// limiter caps |v| at 1 - 1e-10 (W ~ 7.1e4), so anything beyond 1e6 is
+/// unreachable by healthy code paths.
+inline constexpr double kMaxLorentz = 1e6;
+
+/// Physical-state validation for a primitive state (works for srhd::Prim
+/// and srmhd::Prim — both expose rho, p, v_sq()). Returns nullptr when the
+/// state is physical, else a static string naming the violated invariant.
+template <typename P>
+[[nodiscard]] inline const char* violates_prim(const P& w) noexcept {
+  if (!std::isfinite(w.rho) || !std::isfinite(w.p)) {
+    return "non-finite rho or p";
+  }
+  if (!(w.rho > 0.0)) return "rho <= 0";
+  if (!(w.p > 0.0)) return "p <= 0";
+  const double v2 = w.v_sq();
+  if (!std::isfinite(v2)) return "non-finite velocity";
+  if (v2 >= 1.0) return "superluminal |v| >= 1";
+  if (v2 > 1.0 - 1.0 / (kMaxLorentz * kMaxLorentz)) {
+    return "Lorentz factor beyond kMaxLorentz";
+  }
+  return nullptr;
+}
+
+/// Conservative-state validation (srhd::Cons / srmhd::Cons — both expose
+/// d, tau, s_sq()). Conservatives may legitimately be *unphysical* in the
+/// c2p sense mid-evolution (that is what the atmosphere policy heals), so
+/// this only rejects states no finite-volume update can produce: NaN/Inf.
+template <typename C>
+[[nodiscard]] inline const char* violates_cons(const C& u) noexcept {
+  if (!std::isfinite(u.d) || !std::isfinite(u.tau) ||
+      !std::isfinite(u.s_sq())) {
+    return "non-finite conservative state";
+  }
+  return nullptr;
+}
+
+/// nullptr if every element of `buf` is finite, else a static message.
+[[nodiscard]] inline const char* violates_finite(
+    std::span<const double> buf) noexcept {
+  for (const double x : buf) {
+    if (!std::isfinite(x)) return "non-finite value in halo buffer";
+  }
+  return nullptr;
+}
+
+}  // namespace rshc::check
+
+#if RSHC_CHECKS_ENABLED
+
+/// Generic invariant: report `what` under `phase` when cond fails.
+#define RSHC_CHECK(phase, cond, what)                               \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::rshc::check::fail(phase, what, __FILE__, __LINE__);         \
+    }                                                               \
+  } while (false)
+
+/// Physical-state check on a primitive state with zone provenance.
+#define RSHC_CHECK_PRIM(phase, w, blk, ii, jj, kk)                   \
+  do {                                                               \
+    const char* rshc_chk_why = ::rshc::check::violates_prim(w);      \
+    if (rshc_chk_why != nullptr) [[unlikely]] {                      \
+      ::rshc::check::fail(phase, rshc_chk_why, __FILE__, __LINE__,   \
+                          {(blk), (ii), (jj), (kk)});                \
+    }                                                                \
+  } while (false)
+
+/// NaN/Inf check on a conservative state with zone provenance.
+#define RSHC_CHECK_CONS(phase, u, blk, ii, jj, kk)                   \
+  do {                                                               \
+    const char* rshc_chk_why = ::rshc::check::violates_cons(u);      \
+    if (rshc_chk_why != nullptr) [[unlikely]] {                      \
+      ::rshc::check::fail(phase, rshc_chk_why, __FILE__, __LINE__,   \
+                          {(blk), (ii), (jj), (kk)});                \
+    }                                                                \
+  } while (false)
+
+/// Every element of a packed buffer must be finite.
+#define RSHC_CHECK_FINITE_SPAN(phase, span_, what)                   \
+  do {                                                               \
+    const char* rshc_chk_why = ::rshc::check::violates_finite(span_);\
+    if (rshc_chk_why != nullptr) [[unlikely]] {                      \
+      ::rshc::check::fail(phase, what, __FILE__, __LINE__);          \
+    }                                                                \
+  } while (false)
+
+#else  // !RSHC_CHECKS_ENABLED
+
+#define RSHC_CHECK(phase, cond, what) ((void)0)
+#define RSHC_CHECK_PRIM(phase, w, blk, ii, jj, kk) ((void)0)
+#define RSHC_CHECK_CONS(phase, u, blk, ii, jj, kk) ((void)0)
+#define RSHC_CHECK_FINITE_SPAN(phase, span_, what) ((void)0)
+
+#endif  // RSHC_CHECKS_ENABLED

@@ -1,0 +1,70 @@
+#pragma once
+// Halo recv-buffer lifecycle assertions. The overlapped-exchange designs
+// this codebase is growing toward (paper section on comm/compute overlap)
+// have one classic silent-corruption bug: unpacking a receive buffer
+// before its exchange has completed. The guard encodes the legal protocol
+// as a tiny per-(axis, side) state machine:
+//
+//     idle --post()--> in-flight --complete()--> ready --consume()--> idle
+//
+// post() marks a recv as posted (buffer contents undefined), complete()
+// marks the exchange finished (buffer readable), consume() asserts
+// readiness at the unpack site. Any out-of-order transition reports a
+// "halo" violation through rshc::check.
+//
+// With RSHC_CHECKS_ENABLED=0 every method is an empty inline and the class
+// holds no state — the guard vanishes from Release object code.
+
+#include "rshc/check/check.hpp"
+
+namespace rshc::check {
+
+class HaloGuard {
+ public:
+#if RSHC_CHECKS_ENABLED
+  void post(int axis, int side) noexcept {
+    State& s = state(axis, side);
+    if (s == State::kInFlight) {
+      fail("halo", "recv posted twice without completion", __FILE__,
+           __LINE__);
+    }
+    s = State::kInFlight;
+  }
+
+  void complete(int axis, int side) noexcept {
+    State& s = state(axis, side);
+    if (s != State::kInFlight) {
+      fail("halo", "exchange completed with no recv in flight", __FILE__,
+           __LINE__);
+    }
+    s = State::kReady;
+  }
+
+  void consume(int axis, int side) noexcept {
+    State& s = state(axis, side);
+    if (s != State::kReady) {
+      fail("halo",
+           s == State::kInFlight
+               ? "recv buffer read before its exchange completed"
+               : "recv buffer read with no exchange posted",
+           __FILE__, __LINE__);
+    }
+    s = State::kIdle;
+  }
+
+ private:
+  enum class State : unsigned char { kIdle, kInFlight, kReady };
+
+  State& state(int axis, int side) noexcept {
+    return state_[axis & 3][side & 1];
+  }
+
+  State state_[4][2] = {};
+#else
+  void post(int, int) noexcept {}
+  void complete(int, int) noexcept {}
+  void consume(int, int) noexcept {}
+#endif
+};
+
+}  // namespace rshc::check

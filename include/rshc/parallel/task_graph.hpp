@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "rshc/check/check.hpp"
+
 namespace rshc::parallel {
 
 class ThreadPool;
@@ -51,7 +53,14 @@ class TaskGraph {
     std::function<void()> fn;
     std::vector<NodeId> dependents;
     int num_deps = 0;
+    // acq_rel on the releasing decrement: the node that drops pending to 0
+    // must observe all writes of the dependencies it waited for.
     std::atomic<int> pending{0};
+#if RSHC_CHECKS_ENABLED
+    // relaxed: checker bookkeeping only (fired-exactly-once invariant);
+    // ordering is already provided by `pending`.
+    std::atomic<int> fired{0};
+#endif
   };
 
   void finish_node(ThreadPool& pool, NodeId id);
@@ -61,6 +70,8 @@ class TaskGraph {
   std::deque<Node> nodes_;
 
   // Per-run state.
+  // acq_rel on the final decrement: the thread observing 0 fulfils the
+  // done_ promise and must see every node's side effects.
   std::atomic<std::size_t> remaining_{0};
   std::promise<void> done_;
   std::exception_ptr error_;

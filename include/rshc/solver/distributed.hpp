@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "rshc/check/halo_guard.hpp"
 #include "rshc/comm/cart_topology.hpp"
 #include "rshc/comm/communicator.hpp"
 #include "rshc/solver/fv_solver.hpp"
@@ -54,6 +55,8 @@ class DistributedSolver {
   FvSolver<Physics> local_;
   std::vector<double> send_buf_;
   std::vector<double> recv_buf_;
+  // Lifecycle assertions on recv_buf_ (no-op unless RSHC_CHECKS is on).
+  check::HaloGuard halo_guard_;
 };
 
 using DistributedSrhdSolver = DistributedSolver<SrhdPhysics>;

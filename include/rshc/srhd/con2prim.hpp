@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rshc/check/check.hpp"
 #include "rshc/srhd/state.hpp"
 
 namespace rshc::srhd {
@@ -83,6 +84,7 @@ inline C2PResidual c2p_evaluate(const Cons& u, double p,
       !std::isfinite(u.tau) || !std::isfinite(u.s_sq())) {
     out.prim = atmo;
     out.floored = true;
+    RSHC_CHECK_PRIM("srhd.con2prim", out.prim, -1, -1, -1, -1);
     return out;
   }
 
@@ -100,6 +102,7 @@ inline C2PResidual c2p_evaluate(const Cons& u, double p,
   if (!detail::c2p_evaluate(u, p_min, eos).physical) {
     out.prim = atmo;
     out.floored = true;
+    RSHC_CHECK_PRIM("srhd.con2prim", out.prim, -1, -1, -1, -1);
     return out;
   }
 
@@ -121,6 +124,10 @@ inline C2PResidual c2p_evaluate(const Cons& u, double p,
       out.prim.rho = std::max(out.prim.rho, opt.rho_floor);
       out.prim.p = std::max(out.prim.p, opt.p_floor);
       out.converged = true;
+      // Whatever the root solve did, what leaves c2p must be physical —
+      // including the floored components (a misconfigured atmosphere is a
+      // checkable bug, not a recoverable state).
+      RSHC_CHECK_PRIM("srhd.con2prim", out.prim, -1, -1, -1, -1);
       return out;
     }
     // Maintain the bisection bracket: f decreases in p near the root
@@ -140,6 +147,7 @@ inline C2PResidual c2p_evaluate(const Cons& u, double p,
   out.prim = atmo;
   out.floored = true;
   out.converged = false;
+  RSHC_CHECK_PRIM("srhd.con2prim", out.prim, -1, -1, -1, -1);
   return out;
 }
 

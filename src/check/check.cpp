@@ -1,0 +1,85 @@
+#include "rshc/check/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace rshc::check {
+namespace {
+
+bool env_abort_default() {
+  // RSHC_CHECKS_ABORT=0 switches the process to kCount mode at startup
+  // (CI lanes that want to collect every violation before failing).
+  const char* v = std::getenv("RSHC_CHECKS_ABORT");
+  return v == nullptr || (v[0] != '0' && v[0] != 'f' && v[0] != 'F');
+}
+
+// relaxed: the action flag is a mode switch, not a synchronization point.
+std::atomic<Action>& action_flag() {
+  static std::atomic<Action> a{env_abort_default() ? Action::kAbort
+                                                   : Action::kCount};
+  return a;
+}
+
+// relaxed: monotonic event counter; readers only need an eventual value.
+std::atomic<std::int64_t> g_violations{0};
+
+std::mutex& last_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::string& last_message() {
+  static std::string s;
+  return s;
+}
+
+}  // namespace
+
+void set_action(Action a) noexcept {
+  action_flag().store(a, std::memory_order_relaxed);
+}
+
+Action action() noexcept {
+  return action_flag().load(std::memory_order_relaxed);
+}
+
+std::int64_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::string last_violation() {
+  std::scoped_lock lock(last_mutex());
+  return last_message();
+}
+
+void reset() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+  std::scoped_lock lock(last_mutex());
+  last_message().clear();
+}
+
+void fail(const char* phase, const char* what, const char* file, int line,
+          Zone zone) noexcept {
+  char buf[512];
+  if (zone.block >= 0 || zone.i >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "RSHC_CHECK violation [%s] %s:%d: %s (block %d zone "
+                  "i=%d j=%d k=%d)",
+                  phase, file, line, what, zone.block, zone.i, zone.j,
+                  zone.k);
+  } else {
+    std::snprintf(buf, sizeof(buf), "RSHC_CHECK violation [%s] %s:%d: %s",
+                  phase, file, line, what);
+  }
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(last_mutex());
+    last_message() = buf;
+  }
+  std::fprintf(stderr, "%s\n", buf);
+  if (action() == Action::kAbort) std::abort();
+}
+
+}  // namespace rshc::check

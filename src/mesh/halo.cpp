@@ -1,5 +1,7 @@
 #include "rshc/mesh/halo.hpp"
 
+#include "rshc/check/check.hpp"
+
 namespace rshc::mesh {
 namespace {
 
@@ -53,12 +55,18 @@ void pack_face(const Block& src, int axis, int side, std::span<double> buf) {
   for_each_face_cell(src, axis, first, [&](int v, int k, int j, int i) {
     buf[idx++] = w(v, k, j, i);
   });
+  // A NaN packed here crosses the rank boundary and corrupts a neighbour
+  // that did nothing wrong — flag it on the sender where the bad zone is.
+  RSHC_CHECK_FINITE_SPAN("halo", buf,
+                         "packed halo face contains non-finite values");
 }
 
 void unpack_ghost(Block& dst, int axis, int side,
                   std::span<const double> buf) {
   RSHC_REQUIRE(buf.size() == halo_buffer_size(dst, axis),
                "halo unpack buffer size mismatch");
+  RSHC_CHECK_FINITE_SPAN("halo", buf,
+                         "received halo face contains non-finite values");
   // Low-side ghosts start at 0; high-side ghosts start at end(axis).
   const int first = side == 0 ? 0 : dst.end(axis);
   std::size_t idx = 0;

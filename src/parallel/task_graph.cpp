@@ -20,6 +20,11 @@ TaskGraph::NodeId TaskGraph::add(std::function<void()> fn,
 }
 
 void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
+#if RSHC_CHECKS_ENABLED
+  RSHC_CHECK("graph",
+             nodes_[id].fired.fetch_add(1, std::memory_order_relaxed) == 0,
+             "task graph node fired more than once in a run");
+#endif
   try {
     RSHC_TRACE_SCOPE("graph.node", "graph", static_cast<std::int64_t>(id));
     nodes_[id].fn();
@@ -36,7 +41,11 @@ void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
 
 void TaskGraph::release_dependents(ThreadPool& pool, NodeId id) {
   for (const NodeId dep : nodes_[id].dependents) {
-    if (nodes_[dep].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const int prev =
+        nodes_[dep].pending.fetch_sub(1, std::memory_order_acq_rel);
+    RSHC_CHECK("graph", prev >= 1,
+               "task graph pending count went negative (double release)");
+    if (prev == 1) {
       pool.enqueue([this, &pool, dep] { finish_node(pool, dep); });
     }
   }
@@ -46,6 +55,9 @@ void TaskGraph::run(ThreadPool& pool) {
   if (nodes_.empty()) return;
   // Reset per-run scheduling state.
   for (auto& n : nodes_) n.pending.store(n.num_deps, std::memory_order_relaxed);
+#if RSHC_CHECKS_ENABLED
+  for (auto& n : nodes_) n.fired.store(0, std::memory_order_relaxed);
+#endif
   remaining_.store(nodes_.size(), std::memory_order_relaxed);
   done_ = std::promise<void>();
   error_ = nullptr;
@@ -57,6 +69,16 @@ void TaskGraph::run(ThreadPool& pool) {
     }
   }
   done.wait();
+#if RSHC_CHECKS_ENABLED
+  // The graph drained: every node must have fired exactly once (a node
+  // that never fired would mean an unsatisfiable dependency — a cycle or
+  // a lost release — and would have hung `done` instead, but a duplicate
+  // fire can slip through scheduling races; assert both edges here).
+  for (const auto& n : nodes_) {
+    RSHC_CHECK("graph", n.fired.load(std::memory_order_relaxed) == 1,
+               "task graph drained with a node not fired exactly once");
+  }
+#endif
   if (error_) std::rethrow_exception(error_);
 }
 

@@ -64,7 +64,13 @@ void DistributedSolver<Physics>::exchange_halos() {
       const auto nbr = topo_.neighbor(me, axis, side == 0 ? -1 : +1);
       if (nbr.has_value()) {
         recv_buf_.resize(mesh::halo_buffer_size(blk, axis));
+        halo_guard_.post(axis, side);
         comm_.recv(*nbr, halo_tag(axis, side), std::span<double>(recv_buf_));
+        // recv is blocking today; when it becomes a future (overlap work),
+        // complete() moves to the future's ready callback and consume()
+        // keeps guarding the unpack below.
+        halo_guard_.complete(axis, side);
+        halo_guard_.consume(axis, side);
         mesh::unpack_ghost(blk, axis, side, recv_buf_);
       } else {
         const auto negate = Physics::reflect_negate_vars(axis);

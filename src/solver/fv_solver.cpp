@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rshc/check/check.hpp"
 #include "rshc/obs/obs.hpp"
 
 namespace rshc::solver {
@@ -88,6 +89,7 @@ void FvSolver<Physics>::initialize(
         for (int i = blk.begin(0); i < blk.end(0); ++i) {
           const Prim p =
               fn(blk.center(0, i), blk.center(1, j), blk.center(2, k));
+          RSHC_CHECK_PRIM("init", p, -1, i, j, k);
           Physics::store_prim(w, k, j, i, p);
           Physics::store_cons(u, k, j, i, Physics::to_cons(p, opt_.physics));
         }
@@ -190,6 +192,18 @@ void FvSolver<Physics>::compute_rhs(int b) {
 
           const Cons flux =
               Physics::interface_flux(wl, wr, axis, opt_.physics);
+#if RSHC_CHECKS_ENABLED
+          {
+            // Face states leave limit_face_state physical by construction;
+            // a violation here means the limiter or reconstruction broke.
+            // A non-finite flux poisons two zones silently — catch it at
+            // the interface where the offending states are still in hand.
+            const auto cf = local(f);
+            RSHC_CHECK_PRIM("flux", wl, b, cf[0], cf[1], cf[2]);
+            RSHC_CHECK_PRIM("flux", wr, b, cf[0], cf[1], cf[2]);
+            RSHC_CHECK_CONS("flux", flux, b, cf[0], cf[1], cf[2]);
+          }
+#endif
 
           if (f >= blk.begin(axis)) {
             const auto c = local(f);
@@ -243,6 +257,10 @@ void FvSolver<Physics>::update_block(int b, time::StageCoeffs coeffs,
         for (int i = blk.begin(0); i < blk.end(0); ++i) {
           const Cons next = Physics::load_cons(u, k, j, i);
           const Prim p = Physics::to_prim(next, opt_.physics, stats);
+          // Post-recovery state must be physical even when the atmosphere
+          // fallback healed the zone; an unphysical prim escaping c2p is
+          // the bug class this checker exists for.
+          RSHC_CHECK_PRIM("c2p", p, b, i, j, k);
           Physics::store_prim(w, k, j, i, p);
           // Keep cons consistent when the atmosphere policy rewrote prims.
           // (to_prim never throws; floored zones must not leave stale cons.)
@@ -286,8 +304,9 @@ void FvSolver<Physics>::recover_all_prims() {
       for (int j = blk.begin(1); j < blk.end(1); ++j) {
         for (int i = blk.begin(0); i < blk.end(0); ++i) {
           const Cons c = Physics::load_cons(u, k, j, i);
-          Physics::store_prim(w, k, j, i,
-                              Physics::to_prim(c, opt_.physics, ignored));
+          const Prim p = Physics::to_prim(c, opt_.physics, ignored);
+          RSHC_CHECK_PRIM("c2p", p, b, i, j, k);
+          Physics::store_prim(w, k, j, i, p);
         }
       }
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rshc/check/check.hpp"
+
 namespace rshc::srmhd {
 namespace {
 
@@ -61,6 +63,7 @@ Con2PrimResult cons_to_prim(const Cons& u, const eos::IdealGas& eos,
       !std::isfinite(u.b_sq())) {
     out.prim = atmosphere(u, opt);
     out.floored = true;
+    RSHC_CHECK_PRIM("srmhd.con2prim", out.prim, -1, -1, -1, -1);
     return out;
   }
 
@@ -85,6 +88,7 @@ Con2PrimResult cons_to_prim(const Cons& u, const eos::IdealGas& eos,
   if (below_root(s_hi)) {
     out.prim = atmosphere(u, opt);
     out.floored = true;
+    RSHC_CHECK_PRIM("srmhd.con2prim", out.prim, -1, -1, -1, -1);
     return out;
   }
 
@@ -116,6 +120,9 @@ Con2PrimResult cons_to_prim(const Cons& u, const eos::IdealGas& eos,
       w.psi = u.psi;
       out.prim = w;
       out.converged = true;
+      // Same contract as SRHD: nothing unphysical leaves c2p, floored or
+      // not (see check.hpp; zone provenance is added by the solver site).
+      RSHC_CHECK_PRIM("srmhd.con2prim", out.prim, -1, -1, -1, -1);
       return out;
     }
     if (r.f < 0.0) {
@@ -140,6 +147,7 @@ Con2PrimResult cons_to_prim(const Cons& u, const eos::IdealGas& eos,
   out.prim = atmosphere(u, opt);
   out.floored = true;
   out.converged = false;
+  RSHC_CHECK_PRIM("srmhd.con2prim", out.prim, -1, -1, -1, -1);
   return out;
 }
 
