@@ -1,0 +1,33 @@
+// Seeded-bug demonstration for the TSan lane (ctest label: demo).
+//
+// This binary contains a DELIBERATE data race: two threads increment a
+// plain int with no synchronization. Under a normal build it passes (no
+// assertion depends on the racy value being exact), and the sanitizer
+// lanes exclude the demo label from their ctest run. The TSan CI job then
+// runs this binary directly and asserts that it *fails* (ThreadSanitizer
+// reports the race and exits non-zero under halt_on_error=1) — proving the
+// lane actually detects races rather than trivially passing.
+//
+// Do not "fix" this race; it is the lane's canary.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+TEST(TsanSeededRace, DeliberateUnsynchronizedCounter) {
+  int racy = 0;  // intentionally not atomic, not locked
+  auto bump = [&racy] {
+    for (int i = 0; i < 100000; ++i) racy++;  // the seeded race
+  };
+  std::thread a(bump);
+  std::thread b(bump);
+  a.join();
+  b.join();
+  // Sanity only — any interleaving satisfies this; the value is racy.
+  EXPECT_GT(racy, 0);
+  EXPECT_LE(racy, 200000);
+}
+
+}  // namespace
