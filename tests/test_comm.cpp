@@ -110,17 +110,22 @@ TEST(Comm, SameTagIsFifoOrdered) {
 TEST(Comm, LatencyDelaysDelivery) {
   TransferModel model;
   model.latency_sec = 20e-3;
+  // Measure from a pre-world epoch, not from the receiver's recv() call:
+  // on a loaded machine the receiver thread can be scheduled late enough
+  // that the (already-delivered) message makes its recv look instant.
+  // Delivery still cannot complete before send + latency >= epoch +
+  // latency, so the epoch-relative bound is immune to scheduling delay.
+  const auto epoch = std::chrono::steady_clock::now();
   run_world(
       2,
-      [](Communicator& c) {
+      [&](Communicator& c) {
         if (c.rank() == 0) {
           c.send_value(1, 1, 1.0);
         } else {
-          const auto start = std::chrono::steady_clock::now();
           (void)c.recv_value<double>(0, 1);
           const double waited =
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            start)
+                                            epoch)
                   .count();
           EXPECT_GE(waited, 0.015);
         }
