@@ -149,6 +149,8 @@ class World {
   std::vector<double> coll_buffer_;
   std::vector<double> coll_result_;
 
+  // relaxed: traffic statistics only; read after join/barrier, no
+  // synchronization is derived from them.
   std::atomic<std::size_t> msg_count_{0};
   std::atomic<std::size_t> byte_count_{0};
 };

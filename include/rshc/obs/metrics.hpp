@@ -40,6 +40,8 @@ inline constexpr std::size_t kStripes = 32;
 [[nodiscard]] std::size_t thread_stripe() noexcept;
 
 struct alignas(64) CounterCell {
+  // relaxed: per-stripe metric accumulator; snapshot() sums stripes with
+  // no ordering requirement beyond eventual visibility.
   std::atomic<std::int64_t> v{0};
 };
 
@@ -98,12 +100,19 @@ class TimeHist {
   [[nodiscard]] static std::size_t bin_index(std::int64_t ns) noexcept;
 
  private:
+  // All Cell members are relaxed accumulators (striped per thread);
+  // min/max use relaxed compare-exchange loops (atomic_double_min/max)
+  // and snapshot() only needs eventual visibility.
   struct alignas(64) Cell {
+    // relaxed adds (see struct comment above).
     std::atomic<std::int64_t> count{0};
     std::atomic<double> sum_ns{0.0};
-    // +inf so the running atomic-min needs no first-sample special case.
+    // relaxed CAS loops; +inf start so the running atomic-min needs no
+    // first-sample special case.
     std::atomic<double> min_ns{std::numeric_limits<double>::infinity()};
+    // relaxed CAS loop, same contract as min_ns.
     std::atomic<double> max_ns{0.0};
+    // relaxed: histogram bin counters, same visibility contract as above.
     std::array<std::atomic<std::int64_t>, kNumBins> bins{};
   };
   std::array<Cell, detail::kStripes> cells_;

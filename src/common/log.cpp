@@ -9,6 +9,7 @@
 namespace rshc::log {
 namespace {
 
+// relaxed: level filter flag; stale reads just let one message through.
 std::atomic<Level> g_level{Level::kInfo};
 std::mutex g_mutex;
 

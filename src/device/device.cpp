@@ -25,6 +25,7 @@ std::string_view backend_name(Backend b) {
 namespace {
 
 int next_device_id() {
+  // relaxed: id allocator; uniqueness only, no ordering implied.
   static std::atomic<int> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }

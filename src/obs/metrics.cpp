@@ -19,6 +19,7 @@ bool env_flag(const char* name, bool fallback) {
 }
 
 std::atomic<bool>& enabled_flag() {
+  // relaxed: master on/off switch; a stale read drops or keeps one sample.
   static std::atomic<bool> flag{env_flag("RSHC_OBS", true)};
   return flag;
 }
@@ -36,6 +37,7 @@ void set_enabled(bool on) noexcept {
 namespace detail {
 
 std::size_t thread_stripe() noexcept {
+  // relaxed: stripe-index allocator; uniqueness mod kStripes only.
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t mine =
       next.fetch_add(1, std::memory_order_relaxed) % kStripes;

@@ -16,6 +16,7 @@ namespace rshc::obs {
 namespace {
 
 std::atomic<bool>& tracing_flag() {
+  // relaxed: tracing on/off switch; a stale read drops or keeps one span.
   static std::atomic<bool> flag{[] {
     const char* v = std::getenv("RSHC_TRACE");
     if (v == nullptr || *v == '\0') return false;

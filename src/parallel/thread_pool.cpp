@@ -77,7 +77,11 @@ void ThreadPool::parallel_for(long long begin, long long end,
   // being executed by a live thread — parallel_for is therefore safe to call
   // from inside a pool worker (no queued-but-unstarted work is awaited).
   struct Shared {
+    // relaxed: chunk cursor — claims need atomicity, not ordering (the
+    // claimed range is only touched by the claiming thread).
     std::atomic<long long> next;
+    // acq_rel on the final add: the finisher that reaches `total` fulfils
+    // the promise and must observe every chunk's writes.
     std::atomic<long long> completed{0};
     long long total;
     std::promise<void> done;

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for rshc that the generic tools cannot express.
+
+Run from anywhere: paths are resolved relative to the repository root
+(parent of tools/). Exit code 0 = clean, 1 = violations (printed as
+file:line: [rule] message, one per line, grep/IDE friendly).
+
+Rules
+-----
+float-keyed-map   std::map/std::unordered_map keyed on double/float anywhere
+                  in the tree: floating-point keys on physical state make
+                  lookups depend on bit-exact arithmetic and silently break
+                  under FMA/vectorization differences between backends.
+raw-new-solver    no raw `new`/`delete` inside solver code (src/solver,
+                  include/rshc/solver): ownership there must go through
+                  containers / unique_ptr so failure paths (c2p bailouts,
+                  exceptions from task bodies) cannot leak.
+atomic-ordering   every `std::atomic` *declaration* in library code
+                  (include/, src/) carries a comment within the three
+                  preceding lines (or on the line itself) naming the
+                  intended memory ordering (relaxed / acquire / release /
+                  acq_rel / seq_cst or the word "ordering"). The declaration
+                  is where the synchronization design is documented; a bare
+                  atomic invites "just use seq_cst" edits that hide races.
+                  Tests/bench are exempt (ad-hoc seq_cst counters).
+obs-raii-only     outside the obs module itself, spans may only be opened
+                  through the RAII macros (RSHC_OBS_PHASE / RSHC_TRACE_SCOPE):
+                  direct Tracer::record_span or TraceScope/PhaseScope
+                  construction can unbalance span begin/end across the
+                  task-graph's work-stealing boundaries.
+supp-justified    every active entry in tools/sanitizers/*.supp must be
+                  directly preceded by a justification comment (see
+                  tools/sanitizers/README.md for what it must contain).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CPP_GLOBS = ("include/**/*.hpp", "src/**/*.hpp", "src/**/*.cpp",
+             "tests/**/*.cpp", "bench/**/*.cpp", "bench/**/*.hpp",
+             "examples/**/*.cpp")
+
+SOLVER_DIRS = ("src/solver", "include/rshc/solver")
+
+ORDERING_WORDS = re.compile(
+    r"relaxed|acquire|release|acq_rel|seq_cst|ordering", re.IGNORECASE)
+
+# An atomic *object* declaration: `std::atomic<T> name...` — not a
+# reference/pointer (parameters, return types) and not a using-alias.
+ATOMIC_DECL = re.compile(r"std::atomic<[^>]*>\s+\w")
+ATOMIC_NON_DECL = re.compile(r"std::atomic<[^>]*>\s*[&*]|using\s")
+
+FLOAT_MAP = re.compile(r"\b(?:std::)?(?:unordered_)?map\s*<\s*(?:double|float)\b")
+
+RAW_NEW = re.compile(r"\bnew\b\s*[\w:<(]")
+RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?\s+[\w:*(]")
+
+OBS_DIRECT = re.compile(
+    r"record_span\s*\(|\bobs::TraceScope\b|\bobs::PhaseScope\b|"
+    r"\bTraceScope\s+\w+\s*\(|\bPhaseScope\s+\w+\s*\(")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort single-line removal of string/char literals and //
+    comments. Good enough for keyword rules; block comments are handled by
+    the caller tracking state."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+            i += 1
+            continue
+        if ch in "\"'":
+            in_str = ch
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(REPO)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    # -- per-file rules ---------------------------------------------------
+
+    def lint_cpp(self, path: Path) -> None:
+        rel = str(path.relative_to(REPO))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        in_block_comment = False
+        in_solver = any(rel.startswith(d) for d in SOLVER_DIRS)
+        in_obs = "/obs/" in rel or rel.startswith("src/obs")
+        in_tests = rel.startswith("tests/")
+
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw
+            # Track /* ... */ state so keyword rules skip commented code.
+            code = []
+            i = 0
+            while i < len(line):
+                if in_block_comment:
+                    end = line.find("*/", i)
+                    if end < 0:
+                        i = len(line)
+                    else:
+                        in_block_comment = False
+                        i = end + 2
+                    continue
+                start = line.find("/*", i)
+                if start < 0:
+                    code.append(line[i:])
+                    break
+                code.append(line[i:start])
+                in_block_comment = True
+                i = start + 2
+            stripped = strip_comments_and_strings("".join(code))
+
+            if FLOAT_MAP.search(stripped):
+                self.report(path, lineno, "float-keyed-map",
+                            "map keyed on floating-point state; use an "
+                            "integer or quantized key")
+
+            if in_solver and (RAW_NEW.search(stripped)
+                              or RAW_DELETE.search(stripped)):
+                self.report(path, lineno, "raw-new-solver",
+                            "raw new/delete in solver code; use containers "
+                            "or std::make_unique")
+
+            in_library = rel.startswith("include/") or rel.startswith("src/")
+            if (in_library and ATOMIC_DECL.search(stripped)
+                    and not ATOMIC_NON_DECL.search(stripped)):
+                context = lines[max(0, lineno - 4):lineno]
+                if not any(ORDERING_WORDS.search(c) for c in context):
+                    self.report(path, lineno, "atomic-ordering",
+                                "std::atomic declaration without a memory-"
+                                "ordering comment on or above it")
+
+            if (not in_obs and not in_tests
+                    and OBS_DIRECT.search(stripped)):
+                self.report(path, lineno, "obs-raii-only",
+                            "open obs spans via RSHC_OBS_PHASE / "
+                            "RSHC_TRACE_SCOPE, not by direct construction")
+
+    def lint_suppressions(self) -> None:
+        for supp in sorted((REPO / "tools" / "sanitizers").glob("*.supp")):
+            prev_comment = False
+            for lineno, raw in enumerate(supp.read_text().splitlines(),
+                                         start=1):
+                line = raw.strip()
+                if not line:
+                    prev_comment = False
+                    continue
+                if line.startswith("#"):
+                    prev_comment = True
+                    continue
+                if not prev_comment:
+                    self.report(supp, lineno, "supp-justified",
+                                "suppression entry without a justification "
+                                "comment directly above it")
+                prev_comment = False
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> int:
+        files = sorted({f for g in CPP_GLOBS for f in REPO.glob(g)})
+        for f in files:
+            self.lint_cpp(f)
+        self.lint_suppressions()
+        if self.violations:
+            print(f"lint_rshc: {len(self.violations)} violation(s)")
+            for v in self.violations:
+                print(v)
+            return 1
+        print(f"lint_rshc: clean ({len(files)} files)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(Linter().run())
