@@ -1,0 +1,199 @@
+// Performance-regression suite (CI artifact + local tool). One binary,
+// three workloads, one schema-versioned BENCH_perf.json:
+//
+//  1. Pinned SoA kernels (prim2cons / con2prim / flux_x / axpby): each rep
+//     is timed individually into a TimeHist so the report carries real
+//     p50/p90/p99, not just a mean.
+//  2. Single-process SRHD Kelvin-Helmholtz run: exercises the instrumented
+//     solver phases (solver.phase.exchange / rhs / update / c2p / other).
+//  3. Four-rank distributed KH run (run_world): each rank observes into
+//     its own Registry via report::RankScope, and the per-rank snapshots
+//     are merged into "dist."-prefixed rows with min/mean/max/imbalance
+//     across ranks.
+//
+// Output path comes from RSHC_PERF_OUT (default BENCH_perf.json). Compare
+// two runs with tools/perf_report.py; CI's perf-smoke lane gates on the
+// structural checks only, since container timings are noisy.
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rshc/common/timer.hpp"
+#include "rshc/comm/communicator.hpp"
+#include "rshc/mesh/grid.hpp"
+#include "rshc/obs/obs.hpp"
+#include "rshc/obs/report.hpp"
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/distributed.hpp"
+#include "rshc/solver/fv_solver.hpp"
+#include "rshc/srhd/kernels.hpp"
+
+// Provenance baked in by bench/CMakeLists.txt; "unknown" for stray builds.
+#ifndef RSHC_GIT_SHA
+#define RSHC_GIT_SHA "unknown"
+#endif
+#ifndef RSHC_BUILD_TYPE
+#define RSHC_BUILD_TYPE "unknown"
+#endif
+#ifndef RSHC_BUILD_FLAGS
+#define RSHC_BUILD_FLAGS ""
+#endif
+
+namespace {
+
+using namespace rshc;
+
+constexpr double kGamma = 5.0 / 3.0;
+constexpr int kRanks = 4;
+
+/// Randomized SoA batch shared by all kernel reps (same layout as F5).
+struct Soa {
+  std::vector<double> rho, vx, vy, vz, p;
+  std::vector<double> d, sx, sy, sz, tau;
+  std::vector<double> o1, o2, o3, o4, o5;
+
+  explicit Soa(std::size_t n) {
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> ur(0.5, 2.0);
+    std::uniform_real_distribution<double> uv(-0.6, 0.6);
+    for (auto* v : {&rho, &vx, &vy, &vz, &p, &d, &sx, &sy, &sz, &tau, &o1,
+                    &o2, &o3, &o4, &o5}) {
+      v->resize(n);
+    }
+    const eos::IdealGas eos(kGamma);
+    for (std::size_t i = 0; i < n; ++i) {
+      srhd::Prim w{ur(rng), uv(rng), uv(rng), uv(rng), ur(rng)};
+      rho[i] = w.rho; vx[i] = w.vx; vy[i] = w.vy; vz[i] = w.vz; p[i] = w.p;
+      const auto u = srhd::prim_to_cons(w, eos);
+      d[i] = u.d; sx[i] = u.sx; sy[i] = u.sy; sz[i] = u.sz; tau[i] = u.tau;
+    }
+  }
+};
+
+/// Time `fn` `reps` times, one histogram sample per rep, so the report's
+/// percentiles reflect the rep-to-rep spread the regression gate cares
+/// about (a single total would hide multimodal noise).
+template <typename Fn>
+void bench_kernel(const char* name, int reps, Fn&& fn) {
+  fn();  // warm-up
+  obs::TimeHist& hist =
+      obs::Registry::global().timer(std::string("perf.kernel.") + name);
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    hist.record_seconds(t.seconds());
+  }
+}
+
+void run_kernels(bool quick) {
+  const std::size_t n = quick ? 50000 : 200000;
+  const int reps = quick ? 8 : 32;
+  Soa b(n);
+  const srhd::Con2PrimOptions opt;
+  namespace kv = srhd::kernels::simd;
+
+  bench_kernel("prim2cons", reps, [&] {
+    kv::prim_to_cons_n(n, b.rho.data(), b.vx.data(), b.vy.data(),
+                       b.vz.data(), b.p.data(), b.o1.data(), b.o2.data(),
+                       b.o3.data(), b.o4.data(), b.o5.data(), kGamma);
+  });
+  bench_kernel("con2prim", reps, [&] {
+    kv::cons_to_prim_n(n, b.d.data(), b.sx.data(), b.sy.data(), b.sz.data(),
+                       b.tau.data(), b.o1.data(), b.o2.data(), b.o3.data(),
+                       b.o4.data(), b.o5.data(), kGamma, opt);
+  });
+  bench_kernel("flux_x", reps, [&] {
+    kv::flux_n(n, 0, b.rho.data(), b.vx.data(), b.vy.data(), b.vz.data(),
+               b.p.data(), b.d.data(), b.sx.data(), b.sy.data(),
+               b.sz.data(), b.tau.data(), b.o1.data(), b.o2.data(),
+               b.o3.data(), b.o4.data(), b.o5.data());
+  });
+  bench_kernel("axpby", reps, [&] {
+    kv::axpby_n(n, 0.5, b.d.data(), 0.5, b.o1.data());
+  });
+}
+
+solver::SrhdSolver::Options kh_options() {
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.4;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+  return opt;
+}
+
+/// Single-process KH run; solver phases land in the global registry.
+void run_solver(bool quick) {
+  const long long n = quick ? 32 : 64;
+  const int steps = quick ? 8 : 24;
+  const mesh::Grid grid = mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
+  solver::SrhdSolver s(grid, kh_options());
+  s.initialize(problems::kelvin_helmholtz_ic({}));
+  for (int i = 0; i < steps; ++i) s.step(s.compute_dt());
+}
+
+/// Four-rank distributed KH run. Each rank thread installs a RankScope so
+/// its solver phases accumulate in its own registry; the caller merges the
+/// snapshots into rank-resolved "dist." rows.
+std::vector<obs::report::PhaseStats> run_distributed(bool quick) {
+  const long long n = quick ? 32 : 64;
+  const int steps = quick ? 6 : 16;
+  const mesh::Grid grid = mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
+
+  std::array<obs::Registry, kRanks> rank_registries;
+  std::array<obs::Snapshot, kRanks> rank_snaps;
+  comm::run_world(kRanks, [&](comm::Communicator& comm) {
+    const int r = comm.rank();
+    obs::report::RankScope scope(
+        rank_registries[static_cast<std::size_t>(r)], r);
+    solver::DistributedSolver<solver::SrhdPhysics> ds(grid, comm,
+                                                      kh_options());
+    ds.initialize(problems::kelvin_helmholtz_ic({}));
+    for (int i = 0; i < steps; ++i) ds.step(ds.compute_dt());
+    rank_snaps[static_cast<std::size_t>(r)] =
+        rank_registries[static_cast<std::size_t>(r)].snapshot();
+  });
+  return obs::report::phases_from_ranks(
+      std::span<const obs::Snapshot>(rank_snaps), "dist.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  run_kernels(quick);
+  run_solver(quick);
+  std::vector<obs::report::PhaseStats> dist = run_distributed(quick);
+
+  obs::report::RunReport rep;
+  rep.suite = "perf_suite";
+  rep.git_sha = RSHC_GIT_SHA;
+  rep.build_type = RSHC_BUILD_TYPE;
+  rep.build_flags = RSHC_BUILD_FLAGS;
+  rep.ranks = kRanks;
+  rep.hardware = obs::report::probe_hardware();
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  rep.phases = obs::report::phases_from_snapshot(snap);
+  rep.phases.insert(rep.phases.end(), dist.begin(), dist.end());
+  rep.counters = obs::report::counters_from_snapshot(snap);
+
+  const char* out_env = std::getenv("RSHC_PERF_OUT");
+  const std::string out =
+      (out_env != nullptr && *out_env != '\0') ? out_env : "BENCH_perf.json";
+  rep.write_file(out);
+  std::cout << "[perf report: " << out << " | " << rep.phases.size()
+            << " phases, " << rep.counters.size() << " counters]\n";
+
+  // Honor the usual RSHC_DUMP_* env switches next to the bench CSVs.
+  obs::maybe_dump("bench_results/perf_suite");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -126,6 +127,8 @@ class World {
     int tag;
     std::vector<std::byte> payload;
     std::chrono::steady_clock::time_point ready_at;
+    /// Trace flow pairing id carried from send to recv (0 = not traced).
+    std::uint64_t flow_id = 0;
   };
 
   struct Mailbox {

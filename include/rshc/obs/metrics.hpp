@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -95,9 +96,18 @@ class TimeHist {
   [[nodiscard]] double min_seconds() const noexcept;  // 0 when empty
   [[nodiscard]] double max_seconds() const noexcept;
   [[nodiscard]] std::array<std::int64_t, kNumBins> bins() const noexcept;
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// covering log bin, clamped to the exact [min, max] envelope; the
+  /// relative error is bounded by the factor-of-two bin width. 0 if empty.
+  [[nodiscard]] double percentile_seconds(double q) const noexcept;
   void reset() noexcept;
 
   [[nodiscard]] static std::size_t bin_index(std::int64_t ns) noexcept;
+  /// The estimator behind percentile_seconds(), usable on bins copied out
+  /// of a Snapshot entry (same log-bin layout).
+  [[nodiscard]] static double percentile_from_bins(
+      std::span<const std::int64_t> bins, double q, double min_seconds,
+      double max_seconds) noexcept;
 
  private:
   // All Cell members are relaxed accumulators (striped per thread);
@@ -127,6 +137,9 @@ struct Snapshot {
     std::int64_t count = 0;  ///< timer sample count (0 otherwise)
     double min = 0.0;        ///< timer min (sec)
     double max = 0.0;        ///< timer max (sec)
+    double p50 = 0.0;        ///< timer log-bin quantile estimates (sec)
+    double p90 = 0.0;
+    double p99 = 0.0;
     std::vector<std::int64_t> bins;  ///< timer bins (empty otherwise)
   };
   std::vector<Entry> entries;  ///< sorted by (name, kind)
@@ -137,7 +150,8 @@ struct Snapshot {
                                 double fallback = 0.0) const noexcept;
 
   [[nodiscard]] std::string to_json() const;
-  /// CSV with header "name,kind,count,value,min,max" (bins omitted).
+  /// CSV with header "name,kind,count,value,min,max,p50,p90,p99"
+  /// (bins omitted; percentile columns are 0 for counters/gauges).
   [[nodiscard]] std::string to_csv() const;
 };
 
@@ -147,6 +161,12 @@ struct Snapshot {
 class Registry {
  public:
   static Registry& global();
+
+  /// Thread-local override installed by ScopedRegistry; nullptr when the
+  /// calling thread reports into the process-global registry. The
+  /// instrumentation macros consult this first, so a rank thread under a
+  /// ScopedRegistry gets its own registry view (rank-aware aggregation).
+  [[nodiscard]] static Registry* scoped() noexcept;
 
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -161,10 +181,28 @@ class Registry {
   void reset();
 
  private:
+  friend class ScopedRegistry;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<TimeHist>, std::less<>> timers_;
+};
+
+/// RAII: route the calling thread's macro instrumentation into `reg`
+/// instead of Registry::global() for the lifetime of the scope. Scopes
+/// nest (the previous override is restored on destruction) and are strictly
+/// per-thread; `reg` must outlive the scope. Scoped sites pay a map lookup
+/// per hit instead of the cached-static fast path — fine for measurement
+/// runs, which is what rank scoping exists for.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& reg) noexcept;
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* prev_;
 };
 
 }  // namespace rshc::obs

@@ -25,13 +25,17 @@
 namespace rshc::obs {
 
 /// Combined phase instrumentation: one clock-read pair feeds both a
-/// registry TimeHist and (when tracing) a trace span.
+/// registry TimeHist and (when tracing) a trace span. When the calling
+/// thread is under a ScopedRegistry (rank scoping), the sample goes to the
+/// scoped registry's timer of the same name instead of the cached global
+/// one.
 class PhaseScope {
  public:
   PhaseScope(TimeHist& hist, const char* name, const char* cat,
              std::int64_t id = -1) noexcept {
     if (enabled()) {
-      hist_ = &hist;
+      Registry* scoped = Registry::scoped();
+      hist_ = scoped != nullptr ? &scoped->timer(name) : &hist;
       name_ = name;
       cat_ = cat;
       id_ = id;
@@ -58,11 +62,13 @@ class PhaseScope {
   bool trace_ = false;
 };
 
-/// Write the registry CSV and/or the Chrome trace JSON next to a run's
-/// other outputs when the environment asks for it: RSHC_DUMP_METRICS=1
-/// writes <prefix>.metrics.csv, RSHC_DUMP_TRACE=1 writes
-/// <prefix>.trace.json. Used by the bench harnesses with
-/// prefix = "bench_results/<id>". No-op otherwise.
+/// Write the registry CSV, the Chrome trace JSON, and/or a schema-versioned
+/// run report next to a run's other outputs when the environment asks for
+/// it: RSHC_DUMP_METRICS=1 writes <prefix>.metrics.csv, RSHC_DUMP_TRACE=1
+/// writes <prefix>.trace.json, RSHC_DUMP_REPORT=1 writes
+/// <prefix>.report.json (see rshc/obs/report.hpp for the schema). The
+/// prefix's parent directory is created if absent. Used by the bench
+/// harnesses with prefix = "bench_results/<id>". No-op otherwise.
 void maybe_dump(const std::string& prefix);
 
 }  // namespace rshc::obs
@@ -72,23 +78,36 @@ void maybe_dump(const std::string& prefix);
 
 #if RSHC_OBS_ENABLED
 
-/// Increment counter `name` (string literal) by n.
+/// Increment counter `name` (string literal) by n. A thread under a
+/// ScopedRegistry reports into its scoped registry (per-rank view) via an
+/// uncached lookup; all other threads keep the cached-static fast path.
 #define RSHC_OBS_COUNT(name, n)                                         \
   do {                                                                  \
     if (::rshc::obs::enabled()) {                                       \
-      static ::rshc::obs::Counter& rshc_obs_counter_site =              \
-          ::rshc::obs::Registry::global().counter(name);                \
-      rshc_obs_counter_site.add(n);                                     \
+      if (::rshc::obs::Registry* rshc_obs_scoped_reg =                  \
+              ::rshc::obs::Registry::scoped()) {                        \
+        rshc_obs_scoped_reg->counter(name).add(n);                      \
+      } else {                                                          \
+        static ::rshc::obs::Counter& rshc_obs_counter_site =            \
+            ::rshc::obs::Registry::global().counter(name);              \
+        rshc_obs_counter_site.add(n);                                   \
+      }                                                                 \
     }                                                                   \
   } while (false)
 
-/// Set gauge `name` (string literal) to v.
+/// Set gauge `name` (string literal) to v (ScopedRegistry-aware, see
+/// RSHC_OBS_COUNT).
 #define RSHC_OBS_GAUGE(name, v)                                         \
   do {                                                                  \
     if (::rshc::obs::enabled()) {                                       \
-      static ::rshc::obs::Gauge& rshc_obs_gauge_site =                  \
-          ::rshc::obs::Registry::global().gauge(name);                  \
-      rshc_obs_gauge_site.set(v);                                       \
+      if (::rshc::obs::Registry* rshc_obs_scoped_reg =                  \
+              ::rshc::obs::Registry::scoped()) {                        \
+        rshc_obs_scoped_reg->gauge(name).set(v);                        \
+      } else {                                                          \
+        static ::rshc::obs::Gauge& rshc_obs_gauge_site =                \
+            ::rshc::obs::Registry::global().gauge(name);                \
+        rshc_obs_gauge_site.set(v);                                     \
+      }                                                                 \
     }                                                                   \
   } while (false)
 
@@ -106,11 +125,23 @@ void maybe_dump(const std::string& prefix);
   ::rshc::obs::TraceScope RSHC_OBS_CONCAT(rshc_obs_trace_, __LINE__)(   \
       name, cat, id)
 
+/// Sender half of a cross-thread flow arrow: yields a process-unique flow
+/// id (0 when tracing is off) to carry to the receiver, and records the
+/// ph:"s" endpoint inside the currently open span.
+#define RSHC_OBS_FLOW_BEGIN(name, cat) ::rshc::obs::flow_begin(name, cat)
+
+/// Receiver half: records the ph:"f" endpoint for `flow_id` inside the
+/// currently open span. Ignores flow id 0.
+#define RSHC_OBS_FLOW_END(name, cat, flow_id) \
+  ::rshc::obs::flow_end(name, cat, flow_id)
+
 #else  // !RSHC_OBS_ENABLED
 
 #define RSHC_OBS_COUNT(name, n) ((void)0)
 #define RSHC_OBS_GAUGE(name, v) ((void)0)
 #define RSHC_OBS_PHASE(name, cat, id) ((void)0)
 #define RSHC_TRACE_SCOPE(name, cat, id) ((void)0)
+#define RSHC_OBS_FLOW_BEGIN(name, cat) (std::uint64_t{0})
+#define RSHC_OBS_FLOW_END(name, cat, flow_id) ((void)(flow_id))
 
 #endif  // RSHC_OBS_ENABLED

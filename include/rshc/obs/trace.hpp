@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,13 +31,30 @@ void set_tracing(bool on) noexcept;
 /// Nanoseconds since the process-wide trace epoch (steady clock).
 [[nodiscard]] std::int64_t now_ns() noexcept;
 
+/// Rank label used as the Chrome-trace pid of events recorded by the
+/// calling thread (default 0). In-process ranks set it (via
+/// report::RankScope) so multi-rank traces separate into per-rank
+/// process tracks in Perfetto.
+void set_thread_rank(int rank) noexcept;
+[[nodiscard]] int thread_rank() noexcept;
+
+/// What a TraceEvent represents in the Chrome trace-event model.
+enum class EventKind : std::uint8_t {
+  kSpan,       ///< complete event, ph:"X"
+  kFlowStart,  ///< flow begin, ph:"s" (binds to the enclosing span)
+  kFlowEnd,    ///< flow end, ph:"f" with bp:"e"
+};
+
 struct TraceEvent {
   const char* name = nullptr;  ///< static-duration string
   const char* cat = nullptr;   ///< static-duration string
   std::int64_t id = -1;        ///< optional small argument (block id, rank)
+  std::uint64_t flow_id = 0;   ///< nonzero pairing id for flow events
   std::int64_t t0_ns = 0;      ///< span begin, now_ns() clock
-  std::int64_t t1_ns = 0;      ///< span end
+  std::int64_t t1_ns = 0;      ///< span end (== t0_ns for flow events)
   std::uint32_t tid = 0;       ///< recording thread (registration order)
+  std::int32_t pid = 0;        ///< rank label (thread_rank() at record time)
+  EventKind kind = EventKind::kSpan;
 };
 
 class Tracer {
@@ -50,6 +68,18 @@ class Tracer {
   /// Append a completed span to the calling thread's ring.
   void record_span(const char* name, const char* cat, std::int64_t id,
                    std::int64_t t0_ns, std::int64_t t1_ns);
+
+  /// Append one endpoint of a cross-thread flow arrow (timestamped now).
+  /// Outside the obs module use the RSHC_OBS_FLOW_* macros, which also
+  /// compile away under RSHC_OBS=OFF.
+  void record_flow(const char* name, const char* cat, std::uint64_t flow_id,
+                   EventKind kind);
+
+  /// Perfetto metadata (ph:"M"): label the process track for `pid`
+  /// (a rank) and the calling thread's track. Unregistered pids/tids fall
+  /// back to "rank <pid>" / "tid <tid>" at export time.
+  void set_process_name(int pid, std::string name);
+  void set_current_thread_name(std::string name);
 
   /// All buffered events merged across threads, sorted by begin time.
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -71,10 +101,22 @@ class Tracer {
   struct Ring;
   Ring& my_ring();
 
-  mutable std::mutex mutex_;  // guards the ring list + capacity
+  mutable std::mutex mutex_;  // guards rings, capacity, and name maps
   std::vector<std::unique_ptr<Ring>> rings_;
   std::size_t capacity_ = 65536;
+  std::map<int, std::string> process_names_;
+  std::map<std::uint32_t, std::string> thread_names_;
 };
+
+/// Begin a cross-thread flow (sender side): records a ph:"s" event bound
+/// to the enclosing span and returns a process-unique id to hand to the
+/// receiver. Returns 0 — and records nothing — when tracing is inactive.
+[[nodiscard]] std::uint64_t flow_begin(const char* name, const char* cat);
+
+/// End a flow begun by flow_begin (receiver side). An id of 0 is ignored,
+/// so a message sent before tracing was switched on never emits a
+/// dangling flow terminator.
+void flow_end(const char* name, const char* cat, std::uint64_t id);
 
 /// RAII span: measures construction-to-destruction and records it if
 /// tracing was active at construction.

@@ -89,6 +89,9 @@ void Communicator::send_bytes(int dest, int tag,
   msg.payload.assign(payload.begin(), payload.end());
   msg.ready_at =
       std::chrono::steady_clock::now() + world_->model_.flight_time(payload.size());
+  // The flow id rides inside the message so the receiving rank can close
+  // the send→recv arrow Perfetto draws between the two spans.
+  msg.flow_id = RSHC_OBS_FLOW_BEGIN("comm.msg", "comm");
   world_->deliver(dest, std::move(msg));
 }
 
@@ -96,6 +99,7 @@ int Communicator::recv_bytes(int source, int tag, std::span<std::byte> out) {
   RSHC_TRACE_SCOPE("comm.recv", "comm", source);
   RSHC_OBS_COUNT("comm.messages_received", 1);
   World::Message msg = world_->take_matching(rank_, source, tag);
+  RSHC_OBS_FLOW_END("comm.msg", "comm", msg.flow_id);
   RSHC_REQUIRE(msg.payload.size() == out.size(),
                "recv size mismatch: expected " + std::to_string(out.size()) +
                    " bytes, got " + std::to_string(msg.payload.size()));
@@ -108,6 +112,7 @@ std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
   RSHC_TRACE_SCOPE("comm.recv", "comm", source);
   RSHC_OBS_COUNT("comm.messages_received", 1);
   World::Message msg = world_->take_matching(rank_, source, tag);
+  RSHC_OBS_FLOW_END("comm.msg", "comm", msg.flow_id);
   if (actual_source != nullptr) *actual_source = msg.source;
   return std::move(msg.payload);
 }

@@ -127,6 +127,40 @@ double TimeHist::max_seconds() const noexcept {
   return m * 1e-9;
 }
 
+double TimeHist::percentile_from_bins(std::span<const std::int64_t> bins,
+                                      double q, double min_seconds,
+                                      double max_seconds) noexcept {
+  std::int64_t total = 0;
+  for (const auto b : bins) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i] == 0) continue;
+    const double next = cum + static_cast<double>(bins[i]);
+    if (next >= target) {
+      // Bin i covers [2^i, 2^(i+1)) ns (bin 0 starts at 0); interpolate
+      // linearly by rank inside it, then clamp to the exact envelope —
+      // which also bounds the open-ended last bin.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(std::int64_t{1} << i);
+      const double hi = static_cast<double>(std::int64_t{1} << (i + 1));
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(bins[i]), 0.0, 1.0);
+      const double v = (lo + frac * (hi - lo)) * 1e-9;
+      return std::clamp(v, min_seconds, max_seconds);
+    }
+    cum = next;
+  }
+  return max_seconds;
+}
+
+double TimeHist::percentile_seconds(double q) const noexcept {
+  const auto b = bins();
+  return percentile_from_bins(std::span<const std::int64_t>(b), q,
+                              min_seconds(), max_seconds());
+}
+
 std::array<std::int64_t, TimeHist::kNumBins> TimeHist::bins() const noexcept {
   std::array<std::int64_t, kNumBins> out{};
   for (const auto& c : cells_) {
@@ -192,7 +226,8 @@ std::string Snapshot::to_json() const {
     os << "\",\"kind\":\"" << e.kind << "\",\"value\":" << e.value;
     if (e.kind == "timer") {
       os << ",\"count\":" << e.count << ",\"min\":" << e.min
-         << ",\"max\":" << e.max << ",\"bins\":[";
+         << ",\"max\":" << e.max << ",\"p50\":" << e.p50
+         << ",\"p90\":" << e.p90 << ",\"p99\":" << e.p99 << ",\"bins\":[";
       for (std::size_t b = 0; b < e.bins.size(); ++b) {
         if (b > 0) os << ",";
         os << e.bins[b];
@@ -208,10 +243,11 @@ std::string Snapshot::to_json() const {
 std::string Snapshot::to_csv() const {
   std::ostringstream os;
   os.precision(17);
-  os << "name,kind,count,value,min,max\n";
+  os << "name,kind,count,value,min,max,p50,p90,p99\n";
   for (const auto& e : entries) {
     os << e.name << "," << e.kind << "," << e.count << "," << e.value << ","
-       << e.min << "," << e.max << "\n";
+       << e.min << "," << e.max << "," << e.p50 << "," << e.p90 << ","
+       << e.p99 << "\n";
   }
   return os.str();
 }
@@ -222,6 +258,21 @@ Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
+
+namespace {
+// Per-thread registry override; plain thread_local (no atomics needed,
+// only the owning thread reads or writes it).
+thread_local Registry* tl_scoped_registry = nullptr;
+}  // namespace
+
+Registry* Registry::scoped() noexcept { return tl_scoped_registry; }
+
+ScopedRegistry::ScopedRegistry(Registry& reg) noexcept
+    : prev_(tl_scoped_registry) {
+  tl_scoped_registry = &reg;
+}
+
+ScopedRegistry::~ScopedRegistry() { tl_scoped_registry = prev_; }
 
 Counter& Registry::counter(std::string_view name) {
   std::scoped_lock lock(mutex_);
@@ -280,6 +331,9 @@ Snapshot Registry::snapshot() const {
     e.max = t->max_seconds();
     const auto bins = t->bins();
     e.bins.assign(bins.begin(), bins.end());
+    e.p50 = TimeHist::percentile_from_bins(e.bins, 0.50, e.min, e.max);
+    e.p90 = TimeHist::percentile_from_bins(e.bins, 0.90, e.min, e.max);
+    e.p99 = TimeHist::percentile_from_bins(e.bins, 0.99, e.min, e.max);
     snap.entries.push_back(std::move(e));
   }
   std::sort(snap.entries.begin(), snap.entries.end(),

@@ -48,6 +48,15 @@ std::int64_t now_ns() noexcept {
       .count();
 }
 
+namespace {
+// Per-thread rank label; plain thread_local, owner-thread access only.
+thread_local int tl_thread_rank = 0;
+}  // namespace
+
+void set_thread_rank(int rank) noexcept { tl_thread_rank = rank; }
+
+int thread_rank() noexcept { return tl_thread_rank; }
+
 // Fixed-capacity overwrite-oldest ring. Writers are single-threaded (each
 // thread owns one ring); the mutex only serializes against export/clear.
 struct Tracer::Ring {
@@ -99,7 +108,49 @@ void Tracer::record_span(const char* name, const char* cat, std::int64_t id,
   ev.t0_ns = t0_ns;
   ev.t1_ns = t1_ns;
   ev.tid = ring.tid;
+  ev.pid = tl_thread_rank;
   ring.push(ev);
+}
+
+void Tracer::record_flow(const char* name, const char* cat,
+                         std::uint64_t flow_id, EventKind kind) {
+  Ring& ring = my_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.flow_id = flow_id;
+  ev.t0_ns = now_ns();
+  ev.t1_ns = ev.t0_ns;
+  ev.tid = ring.tid;
+  ev.pid = tl_thread_rank;
+  ev.kind = kind;
+  ring.push(ev);
+}
+
+void Tracer::set_process_name(int pid, std::string name) {
+  std::scoped_lock lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::set_current_thread_name(std::string name) {
+  const std::uint32_t tid = my_ring().tid;
+  std::scoped_lock lock(mutex_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::uint64_t flow_begin(const char* name, const char* cat) {
+  if (!tracing_active()) return 0;
+  // relaxed: id allocator; uniqueness is all that matters (0 is reserved
+  // for "no flow").
+  static std::atomic<std::uint64_t> next{1};
+  const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  Tracer::global().record_flow(name, cat, id, EventKind::kFlowStart);
+  return id;
+}
+
+void flow_end(const char* name, const char* cat, std::uint64_t id) {
+  if (id == 0 || !tracing_active()) return;
+  Tracer::global().record_flow(name, cat, id, EventKind::kFlowEnd);
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -126,20 +177,70 @@ std::vector<TraceEvent> Tracer::events() const {
 
 void Tracer::write_chrome_json(std::ostream& os) const {
   const auto evs = events();
+  std::map<int, std::string> process_names;
+  std::map<std::uint32_t, std::string> thread_names;
+  {
+    std::scoped_lock lock(mutex_);
+    process_names = process_names_;
+    thread_names = thread_names_;
+  }
+  // Tracks present in the buffered events; every one gets ph:"M" metadata
+  // so Perfetto shows rank/thread labels instead of bare numeric pids.
+  std::map<int, std::vector<std::uint32_t>> tracks;
+  for (const auto& ev : evs) {
+    auto& tids = tracks[ev.pid];
+    if (std::find(tids.begin(), tids.end(), ev.tid) == tids.end()) {
+      tids.push_back(ev.tid);
+    }
+  }
+
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[64];
   bool first = true;
+  for (const auto& [pid, tids] : tracks) {
+    if (!first) os << ",";
+    first = false;
+    const auto pit = process_names.find(pid);
+    const std::string pname =
+        pit != process_names.end() ? pit->second
+                                   : "rank " + std::to_string(pid);
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << pname << "\"}}";
+    for (const auto tid : tids) {
+      const auto tit = thread_names.find(tid);
+      const std::string tname = tit != thread_names.end()
+                                    ? tit->second
+                                    : "tid " + std::to_string(tid);
+      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tname
+         << "\"}}";
+    }
+  }
   for (const auto& ev : evs) {
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"" << (ev.name != nullptr ? ev.name : "")
-       << "\",\"cat\":\"" << (ev.cat != nullptr ? ev.cat : "")
-       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.tid;
-    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
-                  static_cast<double>(ev.t0_ns) / 1e3,
-                  static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3);
-    os << buf;
-    if (ev.id >= 0) os << ",\"args\":{\"id\":" << ev.id << "}";
+       << "\",\"cat\":\"" << (ev.cat != nullptr ? ev.cat : "") << "\"";
+    if (ev.kind == EventKind::kSpan) {
+      os << ",\"ph\":\"X\",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(ev.t0_ns) / 1e3,
+                    static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3);
+      os << buf;
+      if (ev.id >= 0) os << ",\"args\":{\"id\":" << ev.id << "}";
+    } else {
+      // Flow endpoints bind to the span enclosing their timestamp on the
+      // same (pid, tid) track; bp:"e" attaches the end to the enclosing
+      // slice instead of the next one.
+      os << ",\"ph\":\""
+         << (ev.kind == EventKind::kFlowStart ? "s" : "f") << "\"";
+      if (ev.kind == EventKind::kFlowEnd) os << ",\"bp\":\"e\"";
+      os << ",\"id\":" << ev.flow_id << ",\"pid\":" << ev.pid
+         << ",\"tid\":" << ev.tid;
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                    static_cast<double>(ev.t0_ns) / 1e3);
+      os << buf;
+    }
     os << "}";
   }
   os << "]}";

@@ -55,7 +55,14 @@ void DistributedSolver<Physics>::exchange_halos() {
       const auto nbr = topo_.neighbor(me, axis, side == 0 ? -1 : +1);
       if (!nbr.has_value()) continue;
       send_buf_.resize(mesh::halo_buffer_size(blk, axis));
-      mesh::pack_face(blk, axis, side, send_buf_);
+      {
+        RSHC_TRACE_SCOPE("halo.pack", "comm", axis);
+        mesh::pack_face(blk, axis, side, send_buf_);
+      }
+      RSHC_OBS_COUNT("halo.messages_sent", 1);
+      RSHC_OBS_COUNT("halo.bytes_sent", static_cast<std::int64_t>(
+                                            send_buf_.size() *
+                                            sizeof(double)));
       // My face `side` fills the neighbour's opposite-side ghosts.
       comm_.send(*nbr, halo_tag(axis, 1 - side),
                  std::span<const double>(send_buf_));
@@ -71,6 +78,7 @@ void DistributedSolver<Physics>::exchange_halos() {
         // keeps guarding the unpack below.
         halo_guard_.complete(axis, side);
         halo_guard_.consume(axis, side);
+        RSHC_TRACE_SCOPE("halo.unpack", "comm", axis);
         mesh::unpack_ghost(blk, axis, side, recv_buf_);
       } else {
         const auto negate = Physics::reflect_negate_vars(axis);

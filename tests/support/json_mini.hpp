@@ -1,0 +1,149 @@
+#pragma once
+// Minimal recursive-descent JSON reader shared by the obs tests — just
+// enough to parse the tracer/report emitters' own output: objects, arrays,
+// strings with simple escapes, and doubles. Factored out of test_obs.cpp
+// so the integration tests and the trace validator reuse one parser.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rshc::testsupport {
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue null_value;
+    const auto it = object.find(key);
+    return it != object.end() ? it->second : null_value;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.find(key) != object.end();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text)
+      : owned_(std::move(text)), text_(owned_) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // unwind
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      return parse_number();
+    }
+    fail("unexpected character");
+    return {};
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) fail("expected '{'");
+    if (consume('}')) return v;
+    do {
+      JsonValue key = parse_string();
+      if (!consume(':')) fail("expected ':'");
+      v.object.emplace(key.string, parse_value());
+    } while (consume(','));
+    if (!consume('}')) fail("expected '}'");
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) fail("expected '['");
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ']'");
+    return v;
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    if (!consume('"')) fail("expected '\"'");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        c = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+      }
+      v.string.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    v.number = std::strtod(begin, &end);
+    if (end == begin) fail("bad number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string owned_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace rshc::testsupport

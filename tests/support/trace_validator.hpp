@@ -1,0 +1,198 @@
+#pragma once
+// Structural validator for dumped Chrome trace-event JSON (the contract
+// behind `RSHC_DUMP_TRACE`). Checks what a human squinting at Perfetto
+// cannot: balanced span nesting per track, monotone timestamps, flow ids
+// that pair up exactly once and point forward in time, flow endpoints that
+// bind to an enclosing span, and rank/thread metadata for every track.
+//
+// Returns the list of violations (empty = structurally valid) so tests can
+// print every problem at once instead of dying on the first.
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json_mini.hpp"
+
+namespace rshc::testsupport {
+
+// ts values are microseconds printed with 3 decimals (exact ns), so any
+// true ordering violation is >= 0.001; this only absorbs float parsing.
+inline constexpr double kTraceTsEps = 1e-6;
+
+inline std::vector<std::string> validate_chrome_trace(const JsonValue& root) {
+  std::vector<std::string> problems;
+  auto problem = [&problems](std::string msg) {
+    problems.push_back(std::move(msg));
+  };
+
+  const JsonValue& events = root.at("traceEvents");
+  if (events.kind != JsonValue::Kind::kArray) {
+    problem("traceEvents missing or not an array");
+    return problems;
+  }
+
+  using Track = std::pair<int, int>;  // (pid, tid)
+  std::set<int> span_pids;
+  std::set<Track> span_tracks;
+  std::set<int> named_pids;
+  std::set<Track> named_tracks;
+  // Spans per track in emission (= begin-time) order, as (ts, end).
+  std::map<Track, std::vector<std::pair<double, double>>> spans;
+  struct FlowEnd {
+    int count = 0;
+    double ts = 0.0;
+    Track track{};
+  };
+  // Flow ids are integral in the emitter; quantize the parsed doubles.
+  std::map<long long, FlowEnd> flow_starts;  // keyed by flow id
+  std::map<long long, FlowEnd> flow_ends;
+
+  bool seen_non_meta = false;
+  double prev_ts = 0.0;
+  bool have_prev_ts = false;
+  for (const JsonValue& e : events.array) {
+    const std::string& ph = e.at("ph").string;
+    const int pid = static_cast<int>(e.at("pid").number);
+    const int tid = static_cast<int>(e.at("tid").number);
+    if (ph == "M") {
+      if (seen_non_meta) {
+        problem("metadata event after the first span/flow event");
+      }
+      const std::string& mname = e.at("name").string;
+      if (mname == "process_name") {
+        named_pids.insert(pid);
+      } else if (mname == "thread_name") {
+        named_tracks.insert({pid, tid});
+      } else {
+        problem("unknown metadata record: " + mname);
+      }
+      if (e.at("args").at("name").string.empty()) {
+        problem(mname + " metadata for pid " + std::to_string(pid) +
+                " has an empty name");
+      }
+      continue;
+    }
+    seen_non_meta = true;
+    if (!e.has("ts")) {
+      problem("event '" + e.at("name").string + "' has no ts");
+      continue;
+    }
+    const double ts = e.at("ts").number;
+    if (have_prev_ts && ts + kTraceTsEps < prev_ts) {
+      problem("timestamps not monotone: " + e.at("name").string + " at " +
+              std::to_string(ts) + " after " + std::to_string(prev_ts));
+    }
+    prev_ts = ts;
+    have_prev_ts = true;
+
+    if (ph == "X") {
+      const double dur = e.at("dur").number;
+      if (dur < 0.0) {
+        problem("span '" + e.at("name").string + "' has negative dur");
+      }
+      span_pids.insert(pid);
+      span_tracks.insert({pid, tid});
+      spans[{pid, tid}].emplace_back(ts, ts + dur);
+    } else if (ph == "s" || ph == "f") {
+      auto& slot = (ph == "s" ? flow_starts
+                              : flow_ends)[static_cast<long long>(
+          e.at("id").number)];
+      ++slot.count;
+      slot.ts = ts;
+      slot.track = {pid, tid};
+      if (ph == "f" && e.at("bp").string != "e") {
+        problem("flow end without bp:\"e\" (would bind to the next slice)");
+      }
+    } else {
+      problem("unexpected ph '" + ph + "' for '" + e.at("name").string +
+              "'");
+    }
+  }
+
+  // Balanced nesting per track: spans arrive sorted by begin time; a stack
+  // of still-open end times must strictly contain each new span.
+  for (const auto& [track, list] : spans) {
+    std::vector<double> open;
+    for (const auto& [ts, end] : list) {
+      while (!open.empty() && open.back() <= ts + kTraceTsEps) {
+        open.pop_back();
+      }
+      if (!open.empty() && end > open.back() + kTraceTsEps) {
+        problem("span overlap on pid " + std::to_string(track.first) +
+                " tid " + std::to_string(track.second) + ": [" +
+                std::to_string(ts) + ", " + std::to_string(end) +
+                ") crosses the enclosing span's end " +
+                std::to_string(open.back()));
+      }
+      open.push_back(end);
+    }
+  }
+
+  // Flow ids pair up exactly once, point forward in time, and both
+  // endpoints land inside some span on their own track.
+  auto enclosed = [&spans](const FlowEnd& fe) {
+    const auto it = spans.find(fe.track);
+    if (it == spans.end()) return false;
+    for (const auto& [ts, end] : it->second) {
+      if (ts <= fe.ts + kTraceTsEps && fe.ts <= end + kTraceTsEps) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [id, start] : flow_starts) {
+    if (start.count != 1) {
+      problem("flow id " + std::to_string(id) + " started " +
+              std::to_string(start.count) + " times");
+    }
+    const auto fin = flow_ends.find(id);
+    if (fin == flow_ends.end()) {
+      problem("flow id " + std::to_string(id) + " never finishes");
+      continue;
+    }
+    if (fin->second.ts + kTraceTsEps < start.ts) {
+      problem("flow id " + std::to_string(id) + " finishes before it "
+              "starts");
+    }
+    if (!enclosed(start)) {
+      problem("flow id " + std::to_string(id) +
+              " starts outside any span on its track");
+    }
+    if (!enclosed(fin->second)) {
+      problem("flow id " + std::to_string(id) +
+              " finishes outside any span on its track");
+    }
+  }
+  for (const auto& [id, fin] : flow_ends) {
+    if (fin.count != 1) {
+      problem("flow id " + std::to_string(id) + " finished " +
+              std::to_string(fin.count) + " times");
+    }
+    if (flow_starts.find(id) == flow_starts.end()) {
+      problem("flow id " + std::to_string(id) + " finishes but never "
+              "starts");
+    }
+  }
+
+  // Every track that carries spans is labeled.
+  for (const int pid : span_pids) {
+    if (named_pids.find(pid) == named_pids.end()) {
+      problem("pid " + std::to_string(pid) + " has no process_name "
+              "metadata");
+    }
+  }
+  for (const auto& track : span_tracks) {
+    if (named_tracks.find(track) == named_tracks.end()) {
+      problem("pid " + std::to_string(track.first) + " tid " +
+              std::to_string(track.second) + " has no thread_name "
+              "metadata");
+    }
+  }
+  return problems;
+}
+
+}  // namespace rshc::testsupport

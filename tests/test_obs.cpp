@@ -1,12 +1,11 @@
 // Unit tests for the observability layer: metric semantics, lock-free
-// multi-threaded accumulation, snapshot isolation, and the Chrome
-// trace-event exporter (parsed back with a minimal JSON reader).
+// multi-threaded accumulation, percentile estimation, snapshot isolation,
+// registry scoping, and the Chrome trace-event exporter (parsed back with
+// the shared minimal JSON reader and checked by the trace validator).
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstdint>
-#include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -15,150 +14,14 @@
 #include <vector>
 
 #include "rshc/obs/obs.hpp"
+#include "support/json_mini.hpp"
+#include "support/trace_validator.hpp"
 
 namespace {
 
 using namespace rshc;
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON reader — just enough to parse the tracer's
-// own output ({"traceEvents":[{...},...]}): objects, arrays, strings with
-// simple escapes, and doubles.
-
-struct JsonValue {
-  enum class Kind { kNull, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    static const JsonValue null_value;
-    const auto it = object.find(key);
-    return it != object.end() ? it->second : null_value;
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return object.find(key) != object.end();
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text)
-      : owned_(std::move(text)), text_(owned_) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
-  [[nodiscard]] bool ok() const { return error_.empty(); }
-  [[nodiscard]] const std::string& error() const { return error_; }
-
- private:
-  void fail(const std::string& why) {
-    if (error_.empty()) {
-      error_ = why + " at offset " + std::to_string(pos_);
-    }
-    pos_ = text_.size();  // unwind
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-
-  bool consume(char c) {
-    skip_ws();
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
-      return parse_number();
-    }
-    fail("unexpected character");
-    return {};
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (!consume('{')) fail("expected '{'");
-    if (consume('}')) return v;
-    do {
-      JsonValue key = parse_string();
-      if (!consume(':')) fail("expected ':'");
-      v.object.emplace(key.string, parse_value());
-    } while (consume(','));
-    if (!consume('}')) fail("expected '}'");
-    return v;
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (!consume('[')) fail("expected '['");
-    if (consume(']')) return v;
-    do {
-      v.array.push_back(parse_value());
-    } while (consume(','));
-    if (!consume(']')) fail("expected ']'");
-    return v;
-  }
-
-  JsonValue parse_string() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    if (!consume('"')) fail("expected '\"'");
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        c = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
-      }
-      v.string.push_back(c);
-    }
-    if (pos_ >= text_.size()) {
-      fail("unterminated string");
-    } else {
-      ++pos_;  // closing quote
-    }
-    return v;
-  }
-
-  JsonValue parse_number() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    v.number = std::strtod(begin, &end);
-    if (end == begin) fail("bad number");
-    pos_ += static_cast<std::size_t>(end - begin);
-    return v;
-  }
-
-  std::string owned_;
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-// ---------------------------------------------------------------------------
+using testsupport::JsonParser;
+using testsupport::JsonValue;
 
 /// Every obs test starts from a clean global registry/tracer and restores
 /// the default switches (metrics on, tracing off) afterwards — the
@@ -287,7 +150,8 @@ TEST_F(ObsTest, SnapshotSerializesSortedCsvAndJson) {
   }
 
   const std::string csv = snap.to_csv();
-  EXPECT_EQ(csv.substr(0, 30), "name,kind,count,value,min,max\n");
+  EXPECT_EQ(csv.substr(0, csv.find('\n') + 1),
+            "name,kind,count,value,min,max,p50,p90,p99\n");
   EXPECT_NE(csv.find("t.ser.a,counter,0,1"), std::string::npos);
   EXPECT_NE(csv.find("t.ser.t,timer,1,"), std::string::npos);
 
@@ -303,6 +167,10 @@ TEST_F(ObsTest, SnapshotSerializesSortedCsvAndJson) {
       EXPECT_EQ(m.at("kind").string, "timer");
       EXPECT_DOUBLE_EQ(m.at("count").number, 1.0);
       EXPECT_EQ(m.at("bins").array.size(), obs::TimeHist::kNumBins);
+      // A single sample collapses every percentile onto that sample.
+      EXPECT_DOUBLE_EQ(m.at("p50").number, 1500e-9);
+      EXPECT_DOUBLE_EQ(m.at("p90").number, 1500e-9);
+      EXPECT_DOUBLE_EQ(m.at("p99").number, 1500e-9);
     }
   }
   EXPECT_TRUE(saw_timer);
@@ -380,13 +248,24 @@ TEST_F(ObsTest, ChromeJsonIsWellFormedAndNested) {
 
   const auto& events = root.at("traceEvents");
   ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
-  ASSERT_EQ(events.array.size(), 3u);
+
+  // The structural contract (metadata first, monotone ts, nesting, named
+  // tracks) is checked wholesale by the shared validator.
+  const auto problems = testsupport::validate_chrome_trace(root);
+  EXPECT_TRUE(problems.empty()) << ::testing::PrintToString(problems);
 
   const JsonValue* outer = nullptr;
   const JsonValue* inner = nullptr;
   const JsonValue* other = nullptr;
+  std::size_t spans = 0;
+  std::size_t metas = 0;
   for (const auto& e : events.array) {
-    // Every event is a Chrome "complete" event with the required keys.
+    if (e.at("ph").string == "M") {
+      ++metas;
+      continue;
+    }
+    ++spans;
+    // Every span is a Chrome "complete" event with the required keys.
     EXPECT_EQ(e.at("ph").string, "X");
     EXPECT_TRUE(e.has("ts"));
     EXPECT_TRUE(e.has("dur"));
@@ -399,6 +278,9 @@ TEST_F(ObsTest, ChromeJsonIsWellFormedAndNested) {
     if (name == "t.json.inner") inner = &e;
     if (name == "t.json.other_thread") other = &e;
   }
+  EXPECT_EQ(spans, 3u);
+  // One process_name (default pid 0) plus one thread_name per track.
+  EXPECT_EQ(metas, 3u);
   ASSERT_NE(outer, nullptr);
   ASSERT_NE(inner, nullptr);
   ASSERT_NE(other, nullptr);
@@ -435,6 +317,165 @@ TEST_F(ObsTest, DisabledTracingRecordsNothing) {
     obs::TraceScope s("t.off", "test");  // tracing off in SetUp
   }
   EXPECT_TRUE(obs::Tracer::global().events().empty());
+}
+
+// --- percentiles -----------------------------------------------------------
+
+TEST_F(ObsTest, PercentileFromBinsInterpolatesWithinBin) {
+  std::vector<std::int64_t> bins(obs::TimeHist::kNumBins, 0);
+  // Ten samples somewhere in bin 4 = [16, 32) ns.
+  bins[4] = 10;
+  const auto p = [&bins](double q, double min_s, double max_s) {
+    return obs::TimeHist::percentile_from_bins(
+        std::span<const std::int64_t>(bins), q, min_s, max_s);
+  };
+  // target = q*total ranks into the bin: lo + frac * (hi - lo).
+  EXPECT_DOUBLE_EQ(p(0.5, 0.0, 1.0), 24e-9);   // frac 0.5 of [16, 32)
+  EXPECT_DOUBLE_EQ(p(0.0, 0.0, 1.0), 16e-9);   // bin lower edge
+  EXPECT_DOUBLE_EQ(p(1.0, 0.0, 30e-9), 30e-9);  // clamped to exact max
+
+  // Split across two bins: 5 in [16,32), 5 in [32,64).
+  bins[4] = 5;
+  bins[5] = 5;
+  EXPECT_DOUBLE_EQ(p(0.9, 0.0, 1.0), (32.0 + 0.8 * 32.0) * 1e-9);
+
+  // Empty histogram reports 0 for every percentile.
+  std::vector<std::int64_t> empty(obs::TimeHist::kNumBins, 0);
+  EXPECT_DOUBLE_EQ(obs::TimeHist::percentile_from_bins(
+                       std::span<const std::int64_t>(empty), 0.5, 0.0, 1.0),
+                   0.0);
+}
+
+TEST_F(ObsTest, PercentilesCollapseOnPointMass) {
+  // Every sample identical: the [min, max] clamp must make all three
+  // percentiles exact, regardless of where the bin edges fall.
+  auto& h = obs::Registry::global().timer("t.pct.point");
+  for (int i = 0; i < 100; ++i) h.record_ns(1500);
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.50), 1500e-9);
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.90), 1500e-9);
+  EXPECT_DOUBLE_EQ(h.percentile_seconds(0.99), 1500e-9);
+}
+
+TEST_F(ObsTest, PercentilesAreOrderedAndWithinLogBinTolerance) {
+  auto& h = obs::Registry::global().timer("t.pct.uniform");
+  for (int i = 1; i <= 1000; ++i) h.record_ns(i * 1000);  // 1..1000 us
+  const double p50 = h.percentile_seconds(0.50);
+  const double p90 = h.percentile_seconds(0.90);
+  const double p99 = h.percentile_seconds(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, h.min_seconds());
+  EXPECT_LE(p99, h.max_seconds());
+  // Power-of-two bins bound the interpolation error by 2x either way.
+  EXPECT_GE(p50, 0.5 * 500e-6);
+  EXPECT_LE(p50, 2.0 * 500e-6);
+  EXPECT_GE(p99, 0.5 * 990e-6);
+
+  // The snapshot carries the same numbers.
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const auto* e = snap.find("t.pct.uniform");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->p50, p50);
+  EXPECT_DOUBLE_EQ(e->p90, p90);
+  EXPECT_DOUBLE_EQ(e->p99, p99);
+}
+
+// --- flow events and rank labels -------------------------------------------
+
+TEST_F(ObsTest, FlowEventsPairAcrossThreads) {
+  obs::set_tracing(true);
+  std::uint64_t id = 0;
+  {
+    obs::TraceScope send("t.flow.send", "test");
+    id = obs::flow_begin("t.flow", "test");
+  }
+  EXPECT_NE(id, 0u);
+  std::jthread([id] {
+    obs::set_thread_rank(1);
+    obs::TraceScope recv("t.flow.recv", "test");
+    obs::flow_end("t.flow", "test", id);
+  }).join();
+  obs::set_tracing(false);
+
+  std::ostringstream os;
+  obs::Tracer::global().write_chrome_json(os);
+  JsonParser parser(os.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const auto problems = testsupport::validate_chrome_trace(root);
+  EXPECT_TRUE(problems.empty()) << ::testing::PrintToString(problems);
+
+  const JsonValue* start = nullptr;
+  const JsonValue* finish = nullptr;
+  for (const auto& e : root.at("traceEvents").array) {
+    if (e.at("ph").string == "s") start = &e;
+    if (e.at("ph").string == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_DOUBLE_EQ(start->at("id").number, finish->at("id").number);
+  EXPECT_EQ(finish->at("bp").string, "e");
+  // The receiver ran under rank 1, so the arrow crosses process tracks.
+  EXPECT_DOUBLE_EQ(start->at("pid").number, 0.0);
+  EXPECT_DOUBLE_EQ(finish->at("pid").number, 1.0);
+}
+
+TEST_F(ObsTest, FlowBeginWhileDisabledReturnsZeroAndRecordsNothing) {
+  const std::uint64_t id = obs::flow_begin("t.flow.off", "test");
+  EXPECT_EQ(id, 0u);
+  obs::flow_end("t.flow.off", "test", id);  // id 0 must be ignored
+  EXPECT_TRUE(obs::Tracer::global().events().empty());
+}
+
+TEST_F(ObsTest, ThreadRankLabelsSpanPid) {
+  obs::set_tracing(true);
+  std::jthread([] {
+    obs::set_thread_rank(3);
+    obs::TraceScope s("t.rank", "test");
+  }).join();
+  obs::set_tracing(false);
+  const auto events = obs::Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pid, 3);
+}
+
+// --- registry scoping ------------------------------------------------------
+
+TEST_F(ObsTest, ScopedRegistryRoutesMacrosAndRestores) {
+#if RSHC_OBS_ENABLED
+  obs::Registry local;
+  {
+    obs::ScopedRegistry scope(local);
+    EXPECT_EQ(obs::Registry::scoped(), &local);
+    RSHC_OBS_COUNT("t.scoped.counter", 5);
+    RSHC_OBS_GAUGE("t.scoped.gauge", 2.5);
+    { RSHC_OBS_PHASE("t.scoped.phase", "test", -1); }
+  }
+  EXPECT_EQ(obs::Registry::scoped(), nullptr);
+  RSHC_OBS_COUNT("t.scoped.counter", 2);  // back on the global path
+
+  EXPECT_EQ(local.counter("t.scoped.counter").total(), 5);
+  EXPECT_DOUBLE_EQ(local.gauge("t.scoped.gauge").value(), 2.5);
+  EXPECT_EQ(local.timer("t.scoped.phase").count(), 1);
+  EXPECT_EQ(obs::Registry::global().counter("t.scoped.counter").total(), 2);
+  EXPECT_EQ(obs::Registry::global().timer("t.scoped.phase").count(), 0);
+#else
+  GTEST_SKIP() << "macros compiled out with RSHC_OBS=OFF";
+#endif
+}
+
+TEST_F(ObsTest, ScopedRegistriesNest) {
+  obs::Registry outer_reg;
+  obs::Registry inner_reg;
+  {
+    obs::ScopedRegistry outer(outer_reg);
+    {
+      obs::ScopedRegistry inner(inner_reg);
+      EXPECT_EQ(obs::Registry::scoped(), &inner_reg);
+    }
+    EXPECT_EQ(obs::Registry::scoped(), &outer_reg);
+  }
+  EXPECT_EQ(obs::Registry::scoped(), nullptr);
 }
 
 }  // namespace

@@ -1,22 +1,34 @@
 // Integration tests of the observability layer against the SRHD solver:
 // a traced shock-tube step must produce the expected phase spans in the
 // expected order, registry phase times must nest inside the step total,
-// and a dataflow run must show halo exchange overlapping compute on
-// another thread.
+// a dataflow run must show halo exchange overlapping compute on another
+// thread, and a four-rank distributed run must export a structurally valid
+// Chrome trace with rank-labeled processes and paired send->recv flows.
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "rshc/comm/communicator.hpp"
 #include "rshc/obs/obs.hpp"
+#include "rshc/obs/report.hpp"
 #include "rshc/parallel/thread_pool.hpp"
 #include "rshc/problems/problems.hpp"
+#include "rshc/solver/distributed.hpp"
 #include "rshc/solver/fv_solver.hpp"
+#include "support/json_mini.hpp"
+#include "support/trace_validator.hpp"
 
 #if RSHC_OBS_ENABLED
 
@@ -24,6 +36,8 @@ namespace {
 
 using namespace rshc;
 using solver::SrhdSolver;
+using testsupport::JsonParser;
+using testsupport::JsonValue;
 
 class ObsIntegration : public ::testing::Test {
  protected:
@@ -194,6 +208,168 @@ TEST_F(ObsIntegration, DataflowTraceShowsExchangeOverlappingCompute) {
 
   // The task-graph nodes themselves were counted.
   EXPECT_GT(obs::Registry::global().counter("graph.nodes_run").total(), 0);
+}
+
+// --- rank-aware reporting and comm flow tracing ----------------------------
+
+SrhdSolver::Options kh_opts() {
+  SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+  return opt;
+}
+
+TEST_F(ObsIntegration, FourRankTraceHasPairedFlowsAndNamedRanks) {
+  constexpr int kRanks = 4;
+  const mesh::Grid grid = mesh::Grid::make_2d(32, 32, -0.5, 0.5, -0.5, 0.5);
+  std::array<obs::Registry, kRanks> regs;
+
+  obs::set_tracing(true);
+  comm::run_world(kRanks, [&](comm::Communicator& c) {
+    const auto r = static_cast<std::size_t>(c.rank());
+    obs::report::RankScope scope(regs[r], c.rank());
+    solver::DistributedSolver<solver::SrhdPhysics> ds(grid, c, kh_opts());
+    ds.initialize(problems::kelvin_helmholtz_ic({}));
+    for (int i = 0; i < 2; ++i) ds.step(ds.compute_dt());
+  });
+  obs::set_tracing(false);
+
+  std::ostringstream os;
+  obs::Tracer::global().write_chrome_json(os);
+  JsonParser parser(os.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+
+  // The exported trace is structurally valid: metadata first, monotone
+  // timestamps, balanced nesting, flow ids pairing up exactly once.
+  const auto problems = testsupport::validate_chrome_trace(root);
+  EXPECT_TRUE(problems.empty()) << ::testing::PrintToString(problems);
+
+  std::set<std::string> process_names;
+  // Flow ids are integral in the emitter; parse them back as keys.
+  std::map<long long, double> flow_start_pid;  // flow id -> sender rank
+  std::size_t cross_rank_flows = 0;
+  for (const auto& e : root.at("traceEvents").array) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "M" && e.at("name").string == "process_name") {
+      process_names.insert(e.at("args").at("name").string);
+    }
+    const auto flow_id = static_cast<long long>(e.at("id").number);
+    if (ph == "s") flow_start_pid[flow_id] = e.at("pid").number;
+    if (ph == "f") {
+      const auto it = flow_start_pid.find(flow_id);
+      if (it != flow_start_pid.end() &&
+          it->second != e.at("pid").number) {
+        ++cross_rank_flows;
+      }
+    }
+  }
+  // Every rank ran under a RankScope, so its track carries its label.
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(process_names.count("rank " + std::to_string(r)) == 1)
+        << "missing process_name for rank " << r;
+  }
+  // Halo messages travel between neighbouring ranks: the send->recv flow
+  // arrows must actually cross process tracks.
+  EXPECT_GT(cross_rank_flows, 0u);
+
+  // Each rank's scoped registry saw its own solver phases and halo bytes.
+  for (const auto& reg : regs) {
+    const obs::Snapshot snap = reg.snapshot();
+    EXPECT_GT(snap.value_or("solver.phase.rhs"), 0.0);
+    EXPECT_GT(snap.value_or("halo.bytes_sent"), 0.0);
+    EXPECT_GT(snap.value_or("comm.messages_sent"), 0.0);
+  }
+  // The global registry saw none of it (everything was rank-scoped).
+  EXPECT_DOUBLE_EQ(
+      obs::Registry::global().snapshot().value_or("halo.bytes_sent"), 0.0);
+}
+
+TEST_F(ObsIntegration, RankRollupComputesExactCrossRankStats) {
+  constexpr int kRanks = 4;
+  std::array<obs::Registry, kRanks> regs;
+  using Rollup = std::vector<std::pair<std::string, obs::report::RankStats>>;
+  std::array<Rollup, kRanks> results;
+
+  comm::run_world(kRanks, [&](comm::Communicator& c) {
+    const auto r = static_cast<std::size_t>(c.rank());
+    // Hand-planted per-rank totals: rank r spends (r + 1) seconds.
+    regs[r].timer("phase.a").record_seconds(static_cast<double>(r + 1));
+    results[r] = obs::report::rank_rollup(c, regs[r].snapshot(),
+                                          {"phase.a", "phase.absent"});
+  });
+
+  // sums = {1, 2, 3, 4}: min 1, max 4, mean 2.5, imbalance 4 / 2.5 = 1.6.
+  for (const auto& rollup : results) {
+    ASSERT_EQ(rollup.size(), 2u);
+    EXPECT_EQ(rollup[0].first, "phase.a");
+    EXPECT_NEAR(rollup[0].second.min_s, 1.0, 1e-9);
+    EXPECT_NEAR(rollup[0].second.max_s, 4.0, 1e-9);
+    EXPECT_NEAR(rollup[0].second.mean_s, 2.5, 1e-9);
+    EXPECT_NEAR(rollup[0].second.imbalance, 1.6, 1e-9);
+    // A phase no rank recorded rolls up to all-zero, imbalance included.
+    EXPECT_EQ(rollup[1].first, "phase.absent");
+    EXPECT_DOUBLE_EQ(rollup[1].second.max_s, 0.0);
+    EXPECT_DOUBLE_EQ(rollup[1].second.imbalance, 0.0);
+  }
+}
+
+TEST_F(ObsIntegration, PhasesFromRanksMergeCountsAndRankStats) {
+  std::array<obs::Registry, 2> regs;
+  regs[0].timer("phase.m").record_seconds(1.0);
+  regs[0].timer("phase.m").record_seconds(1.0);
+  regs[1].timer("phase.m").record_seconds(2.0);
+  const std::array<obs::Snapshot, 2> snaps = {regs[0].snapshot(),
+                                              regs[1].snapshot()};
+  const auto rows = obs::report::phases_from_ranks(
+      std::span<const obs::Snapshot>(snaps), "dist.");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "dist.phase.m");
+  EXPECT_EQ(rows[0].count, 3);
+  EXPECT_NEAR(rows[0].sum_s, 4.0, 1e-8);
+  ASSERT_TRUE(rows[0].ranks.has_value());
+  EXPECT_NEAR(rows[0].ranks->min_s, 2.0, 1e-9);   // rank 0 total
+  EXPECT_NEAR(rows[0].ranks->max_s, 2.0, 1e-9);   // rank 1 total
+  EXPECT_NEAR(rows[0].ranks->mean_s, 2.0, 1e-9);
+  EXPECT_NEAR(rows[0].ranks->imbalance, 1.0, 1e-9);
+  // Percentiles come from the merged bins, clamped to the exact envelope.
+  EXPECT_GE(rows[0].p50_s, rows[0].min_s);
+  EXPECT_LE(rows[0].p99_s, rows[0].max_s);
+}
+
+TEST_F(ObsIntegration, MaybeDumpCreatesMissingOutputDirectory) {
+  obs::Registry::global().timer("t.dump.timer").record_ns(1000);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rshc_obs_dump_test";
+  std::filesystem::remove_all(dir);
+  ::setenv("RSHC_DUMP_METRICS", "1", 1);
+  ::setenv("RSHC_DUMP_REPORT", "1", 1);
+  obs::maybe_dump((dir / "nested" / "run").string());
+  ::unsetenv("RSHC_DUMP_METRICS");
+  ::unsetenv("RSHC_DUMP_REPORT");
+
+  EXPECT_TRUE(std::filesystem::exists(dir / "nested" / "run.metrics.csv"));
+  const std::filesystem::path report = dir / "nested" / "run.report.json";
+  ASSERT_TRUE(std::filesystem::exists(report));
+
+  std::ifstream is(report);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  JsonParser parser(buf.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  EXPECT_EQ(root.at("schema").string, "rshc.perf_report");
+  EXPECT_DOUBLE_EQ(root.at("schema_version").number,
+                   obs::report::kSchemaVersion);
+  EXPECT_EQ(root.at("suite").string, "run");
+  ASSERT_EQ(root.at("phases").kind, JsonValue::Kind::kArray);
+  bool saw_timer = false;
+  for (const auto& ph : root.at("phases").array) {
+    if (ph.at("name").string == "t.dump.timer") saw_timer = true;
+  }
+  EXPECT_TRUE(saw_timer);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -23,11 +23,14 @@ atomic-ordering   every `std::atomic` *declaration* in library code
                   is where the synchronization design is documented; a bare
                   atomic invites "just use seq_cst" edits that hide races.
                   Tests/bench are exempt (ad-hoc seq_cst counters).
-obs-raii-only     outside the obs module itself, spans may only be opened
-                  through the RAII macros (RSHC_OBS_PHASE / RSHC_TRACE_SCOPE):
-                  direct Tracer::record_span or TraceScope/PhaseScope
-                  construction can unbalance span begin/end across the
-                  task-graph's work-stealing boundaries.
+obs-raii-only     outside the obs module itself, spans and flow events may
+                  only be emitted through the RAII/helper macros
+                  (RSHC_OBS_PHASE / RSHC_TRACE_SCOPE / RSHC_OBS_FLOW_BEGIN /
+                  RSHC_OBS_FLOW_END): direct Tracer::record_span/record_flow
+                  or TraceScope/PhaseScope construction or bare
+                  flow_begin/flow_end calls can unbalance span begin/end
+                  across the task-graph's work-stealing boundaries, and
+                  bypass the RSHC_OBS=OFF compile-out gate.
 supp-justified    every active entry in tools/sanitizers/*.supp must be
                   directly preceded by a justification comment (see
                   tools/sanitizers/README.md for what it must contain).
@@ -61,8 +64,9 @@ RAW_NEW = re.compile(r"\bnew\b\s*[\w:<(]")
 RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?\s+[\w:*(]")
 
 OBS_DIRECT = re.compile(
-    r"record_span\s*\(|\bobs::TraceScope\b|\bobs::PhaseScope\b|"
-    r"\bTraceScope\s+\w+\s*\(|\bPhaseScope\s+\w+\s*\(")
+    r"record_span\s*\(|record_flow\s*\(|\bobs::TraceScope\b|"
+    r"\bobs::PhaseScope\b|\bTraceScope\s+\w+\s*\(|\bPhaseScope\s+\w+\s*\(|"
+    r"\bflow_begin\s*\(|\bflow_end\s*\(")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -157,8 +161,9 @@ class Linter:
             if (not in_obs and not in_tests
                     and OBS_DIRECT.search(stripped)):
                 self.report(path, lineno, "obs-raii-only",
-                            "open obs spans via RSHC_OBS_PHASE / "
-                            "RSHC_TRACE_SCOPE, not by direct construction")
+                            "emit obs spans/flows via RSHC_OBS_PHASE / "
+                            "RSHC_TRACE_SCOPE / RSHC_OBS_FLOW_BEGIN / "
+                            "RSHC_OBS_FLOW_END, not by direct calls")
 
     def lint_suppressions(self) -> None:
         for supp in sorted((REPO / "tools" / "sanitizers").glob("*.supp")):

@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Validate, inspect, and diff rshc.perf_report JSON files (BENCH_perf.json).
+
+The report is the single performance artifact produced by bench/perf_suite
+(schema in include/rshc/obs/report.hpp and DESIGN.md). This tool is the
+CI-side half of the contract.
+
+Subcommands
+-----------
+validate REPORT
+    Structural checks only: schema name/version, required fields, ordered
+    percentiles (min <= p50 <= p90 <= p99 <= max), sane rank roll-ups
+    (min <= mean <= max, imbalance >= 1 when the phase ran).
+compare [BASELINE] CURRENT [--threshold F] [--min-sum S]
+    Diff two reports. BASELINE defaults to $RSHC_PERF_BASELINE when
+    omitted. Schema mismatch or a phase that disappeared is a *structural*
+    regression; a phase whose per-sample mean grew by more than
+    --threshold (default 0.30 = 30%, far above timer jitter but well
+    below a 2x algorithmic regression) is a *performance* regression.
+    Phases whose baseline total is below --min-sum seconds (default 1e-4)
+    are reported but never gate: their timings are noise-dominated.
+show REPORT
+    Human-readable table of the phases and counters.
+selftest REPORT
+    Self-check used by ctest (perf_report_selftest): validates REPORT,
+    then asserts compare(REPORT, REPORT) passes, an injected 10x slowdown
+    fails with exit 1, and a dropped phase fails with exit 2.
+
+Exit codes: 0 = ok, 1 = performance regression, 2 = structural problem
+(invalid/missing file, schema mismatch, missing phase). Keeping the two
+failure modes distinct lets CI gate hard on structure while treating pure
+timing deltas as advisory on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+SCHEMA_NAME = "rshc.perf_report"
+SCHEMA_VERSION = 1
+
+EXIT_OK = 0
+EXIT_PERF = 1
+EXIT_STRUCTURAL = 2
+
+# A hair of slack for percentile ordering: the p99 interpolation and the
+# exact max are computed by different paths and may disagree in the last ulp.
+_EPS = 1e-12
+
+_REQUIRED_TOP = ("schema", "schema_version", "suite", "git_sha", "build",
+                 "hardware", "ranks", "phases", "counters")
+_REQUIRED_PHASE = ("name", "count", "sum_s", "min_s", "max_s", "p50_s",
+                   "p90_s", "p99_s")
+_REQUIRED_RANKS = ("min_s", "mean_s", "max_s", "imbalance")
+
+
+def load(path: str) -> dict:
+    """Parse a report or die with a structural error."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        die_structural(f"{path}: cannot read report: {exc}")
+        raise AssertionError  # unreachable
+
+
+def die_structural(msg: str) -> None:
+    print(f"perf_report: STRUCTURAL: {msg}", file=sys.stderr)
+    sys.exit(EXIT_STRUCTURAL)
+
+
+def validate_report(rep: dict, label: str) -> list[str]:
+    """Return a list of structural problems (empty = valid)."""
+    problems: list[str] = []
+    for key in _REQUIRED_TOP:
+        if key not in rep:
+            problems.append(f"{label}: missing top-level field '{key}'")
+    if rep.get("schema") != SCHEMA_NAME:
+        problems.append(f"{label}: schema is {rep.get('schema')!r}, "
+                        f"expected {SCHEMA_NAME!r}")
+    if rep.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"{label}: schema_version "
+                        f"{rep.get('schema_version')!r}, expected "
+                        f"{SCHEMA_VERSION}")
+    phases = rep.get("phases")
+    if not isinstance(phases, list) or not phases:
+        problems.append(f"{label}: 'phases' must be a non-empty list")
+        return problems
+    for ph in phases:
+        name = ph.get("name", "<unnamed>")
+        for key in _REQUIRED_PHASE:
+            if key not in ph:
+                problems.append(f"{label}: phase {name}: missing '{key}'")
+        if any(key not in ph for key in _REQUIRED_PHASE):
+            continue
+        if ph["count"] <= 0:
+            problems.append(f"{label}: phase {name}: count must be > 0")
+        order = (ph["min_s"], ph["p50_s"], ph["p90_s"], ph["p99_s"],
+                 ph["max_s"])
+        if any(a > b + _EPS for a, b in zip(order, order[1:])):
+            problems.append(f"{label}: phase {name}: percentiles out of "
+                            f"order: min/p50/p90/p99/max = {order}")
+        if ph["sum_s"] + _EPS < ph["max_s"]:
+            problems.append(f"{label}: phase {name}: sum_s < max_s")
+        ranks = ph.get("ranks")
+        if ranks is None:
+            continue
+        for key in _REQUIRED_RANKS:
+            if key not in ranks:
+                problems.append(f"{label}: phase {name}: ranks missing "
+                                f"'{key}'")
+        if any(key not in ranks for key in _REQUIRED_RANKS):
+            continue
+        if not (ranks["min_s"] <= ranks["mean_s"] + _EPS
+                <= ranks["max_s"] + 2 * _EPS):
+            problems.append(f"{label}: phase {name}: rank stats out of "
+                            f"order (min <= mean <= max)")
+        if ranks["mean_s"] > 0 and ranks["imbalance"] + _EPS < 1.0:
+            problems.append(f"{label}: phase {name}: imbalance < 1 with a "
+                            f"nonzero mean")
+    return problems
+
+
+def phase_map(rep: dict) -> dict[str, dict]:
+    return {ph["name"]: ph for ph in rep.get("phases", [])
+            if isinstance(ph, dict) and "name" in ph}
+
+
+def mean_per_sample(ph: dict) -> float:
+    return ph["sum_s"] / ph["count"] if ph["count"] else 0.0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    rep = load(args.report)
+    problems = validate_report(rep, args.report)
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+    print(f"perf_report: {args.report}: valid "
+          f"({len(rep['phases'])} phases, {len(rep['counters'])} counters, "
+          f"git {rep['git_sha']})")
+    return EXIT_OK
+
+
+def compare_reports(base: dict, cur: dict, threshold: float,
+                    min_sum: float) -> int:
+    """Core of `compare`; prints findings and returns the exit code."""
+    problems = (validate_report(base, "baseline")
+                + validate_report(cur, "current"))
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    base_phases = phase_map(base)
+    cur_phases = phase_map(cur)
+    missing = sorted(set(base_phases) - set(cur_phases))
+    if missing:
+        for name in missing:
+            print(f"perf_report: STRUCTURAL: phase '{name}' present in "
+                  f"baseline but missing from current report",
+                  file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    added = sorted(set(cur_phases) - set(base_phases))
+    for name in added:
+        print(f"perf_report: note: new phase '{name}' (not in baseline)")
+
+    regressions = []
+    for name in sorted(base_phases):
+        b, c = base_phases[name], cur_phases[name]
+        b_mean, c_mean = mean_per_sample(b), mean_per_sample(c)
+        if b_mean <= 0.0:
+            continue
+        ratio = c_mean / b_mean
+        gating = b["sum_s"] >= min_sum
+        marker = " " if ratio <= 1.0 + threshold else ("!" if gating else "~")
+        print(f"  [{marker}] {name}: mean/sample {b_mean:.3e}s -> "
+              f"{c_mean:.3e}s ({ratio - 1.0:+.1%} vs baseline)")
+        if ratio > 1.0 + threshold and gating:
+            regressions.append((name, ratio))
+
+    if regressions:
+        for name, ratio in regressions:
+            print(f"perf_report: REGRESSION: {name} is {ratio:.2f}x the "
+                  f"baseline mean (threshold {1.0 + threshold:.2f}x)",
+                  file=sys.stderr)
+        return EXIT_PERF
+    print("perf_report: compare OK "
+          f"(threshold {threshold:.0%}, {len(base_phases)} phases)")
+    return EXIT_OK
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = args.baseline
+    if args.current is None:
+        # Single positional: it is the current report, baseline from env.
+        args.current, baseline = baseline, os.environ.get(
+            "RSHC_PERF_BASELINE", "")
+        if not baseline:
+            die_structural("compare needs a baseline: pass two reports or "
+                           "set RSHC_PERF_BASELINE")
+    return compare_reports(load(baseline), load(args.current),
+                           args.threshold, args.min_sum)
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    rep = load(args.report)
+    problems = validate_report(rep, args.report)
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+    hw = rep["hardware"]
+    print(f"suite {rep['suite']} | git {rep['git_sha']} | "
+          f"{rep['build']['type']} | ranks {rep['ranks']} | "
+          f"{hw['threads']} hw threads | {hw['cpu'] or 'unknown cpu'}")
+    hdr = (f"{'phase':40s} {'count':>8s} {'sum_s':>10s} {'p50_s':>10s} "
+           f"{'p90_s':>10s} {'p99_s':>10s} {'imbal':>6s}")
+    print(hdr)
+    print("-" * len(hdr))
+    for ph in rep["phases"]:
+        imbal = ph.get("ranks", {}).get("imbalance")
+        imbal_col = f"{imbal:6.2f}" if imbal is not None else f"{'--':>6s}"
+        print(f"{ph['name']:40s} {ph['count']:8d} {ph['sum_s']:10.3e} "
+              f"{ph['p50_s']:10.3e} {ph['p90_s']:10.3e} "
+              f"{ph['p99_s']:10.3e} {imbal_col}")
+    for name, value in sorted((c["name"], c["value"])
+                              for c in rep["counters"]):
+        print(f"{name:40s} {value:14.0f}")
+    return EXIT_OK
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    rep = load(args.report)
+    problems = validate_report(rep, args.report)
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    # Identity compare must pass.
+    rc = compare_reports(rep, copy.deepcopy(rep), 0.30, 1e-4)
+    if rc != EXIT_OK:
+        print("perf_report: selftest: identity compare failed", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    # A 10x slowdown on the slowest phase must trip the perf gate.
+    slowed = copy.deepcopy(rep)
+    victim = max(slowed["phases"], key=lambda ph: ph["sum_s"])
+    victim["sum_s"] *= 10.0
+    rc = compare_reports(rep, slowed, 0.30, 1e-4)
+    if rc != EXIT_PERF:
+        print(f"perf_report: selftest: injected 10x regression on "
+              f"'{victim['name']}' returned {rc}, expected {EXIT_PERF}",
+              file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    # A dropped phase must trip the structural gate.
+    dropped = copy.deepcopy(rep)
+    gone = dropped["phases"].pop()
+    rc = compare_reports(rep, dropped, 0.30, 1e-4)
+    if rc != EXIT_STRUCTURAL:
+        print(f"perf_report: selftest: dropping phase '{gone['name']}' "
+              f"returned {rc}, expected {EXIT_STRUCTURAL}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    print(f"perf_report: selftest OK ({args.report})")
+    return EXIT_OK
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_report.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("validate", help="structural checks on one report")
+    p.add_argument("report")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("compare", help="diff two reports")
+    p.add_argument("baseline",
+                   help="baseline report (or the current report when the "
+                        "baseline comes from $RSHC_PERF_BASELINE)")
+    p.add_argument("current", nargs="?",
+                   help="current report; omit to use $RSHC_PERF_BASELINE "
+                        "as the baseline")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="relative mean-per-sample growth that fails the "
+                        "gate (default 0.30)")
+    p.add_argument("--min-sum", type=float, default=1e-4,
+                   help="baseline phases whose sum_s is below this never "
+                        "gate (default 1e-4 s)")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("show", help="print a report as a table")
+    p.add_argument("report")
+    p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("selftest", help="ctest: gate logic sanity checks")
+    p.add_argument("report")
+    p.set_defaults(fn=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
