@@ -1,14 +1,17 @@
 // B1 — google-benchmark microbenchmarks of the hot per-zone kernels:
 // reconstruction variants, Riemann solvers, prim<->cons maps, the GLM
-// interface flux, and the RK combination kernel.
+// interface flux, the RK combination kernel, and the solver rhs phase
+// under the pencil vs batched host pipelines.
 
 #include <benchmark/benchmark.h>
 
 #include <random>
 #include <vector>
 
+#include "rshc/problems/problems.hpp"
 #include "rshc/recon/reconstruct.hpp"
 #include "rshc/riemann/riemann.hpp"
+#include "rshc/solver/fv_solver.hpp"
 #include "rshc/srhd/con2prim.hpp"
 #include "rshc/srhd/kernels.hpp"
 #include "rshc/srmhd/con2prim.hpp"
@@ -141,6 +144,52 @@ void BM_Axpby(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 16);
 }
 BENCHMARK(BM_Axpby);
+
+void BM_ReconstructRows(benchmark::State& state) {
+  // Batched plane entry point vs per-pencil dispatch: same kernels, the
+  // dispatch and span setup hoisted out of the per-pencil loop.
+  const std::size_t rows = 32;
+  const std::size_t n = 256;
+  const auto q = random_pencil(rows * n);
+  std::vector<double> ql(rows * n);
+  std::vector<double> qr(rows * n);
+  const recon::PencilKernel fn = recon::pencil_kernel(recon::Method::kPLMMC);
+  for (auto _ : state) {
+    recon::reconstruct_rows(fn, rows, n, q.data(), n, ql.data(), qr.data(),
+                            n);
+    benchmark::DoNotOptimize(ql.data());
+    benchmark::DoNotOptimize(qr.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * n));
+}
+BENCHMARK(BM_ReconstructRows);
+
+void BM_SolverRhs(benchmark::State& state) {
+  // Whole rhs phase (reconstruction + Riemann + flux differencing) on the
+  // 2D KH workload the perf suite tracks, per host pipeline.
+  const auto pipeline = static_cast<solver::HostPipeline>(state.range(0));
+  const long long n = 64;
+  const mesh::Grid grid = mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kPeriodic);
+  opt.physics.eos = eos::IdealGas(4.0 / 3.0);
+  opt.pipeline = pipeline;
+  solver::SrhdSolver s(grid, opt);
+  s.initialize(problems::kelvin_helmholtz_ic({}));
+  for (auto _ : state) {
+    s.compute_rhs_all();
+    benchmark::DoNotOptimize(&s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          grid.num_cells());
+  state.SetLabel(std::string(solver::host_pipeline_name(pipeline)));
+}
+BENCHMARK(BM_SolverRhs)
+    ->Arg(static_cast<int>(solver::HostPipeline::kPencil))
+    ->Arg(static_cast<int>(solver::HostPipeline::kBatchedScalar))
+    ->Arg(static_cast<int>(solver::HostPipeline::kBatchedSimd));
 
 void BM_GlmInterfaceFlux(benchmark::State& state) {
   for (auto _ : state) {

@@ -5,7 +5,11 @@
 //     is timed individually into a TimeHist so the report carries real
 //     p50/p90/p99, not just a mean.
 //  2. Single-process SRHD Kelvin-Helmholtz run: exercises the instrumented
-//     solver phases (solver.phase.exchange / rhs / update / c2p / other).
+//     solver phases (solver.phase.exchange / rhs / update / c2p / other)
+//     under the default batched host pipeline, then repeats the identical
+//     workload on the per-pencil reference path into "pencil."-prefixed
+//     rows — every report carries the batched-vs-pencil comparison
+//     (compare e.g. solver.phase.rhs against pencil.solver.phase.rhs).
 //  3. Four-rank distributed KH run (run_world): each rank observes into
 //     its own Registry via report::RankScope, and the per-rank snapshots
 //     are merged into "dist."-prefixed rows with min/mean/max/imbalance
@@ -19,6 +23,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -126,14 +131,31 @@ solver::SrhdSolver::Options kh_options() {
   return opt;
 }
 
-/// Single-process KH run; solver phases land in the global registry.
-void run_solver(bool quick) {
+/// Single-process KH run; solver phases land in the current registry.
+void run_solver(bool quick, solver::HostPipeline pipeline) {
   const long long n = quick ? 32 : 64;
   const int steps = quick ? 8 : 24;
   const mesh::Grid grid = mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
-  solver::SrhdSolver s(grid, kh_options());
+  auto opt = kh_options();
+  opt.pipeline = pipeline;
+  solver::SrhdSolver s(grid, opt);
   s.initialize(problems::kelvin_helmholtz_ic({}));
   for (int i = 0; i < steps; ++i) s.step(s.compute_dt());
+}
+
+/// The same KH workload on the per-pencil reference pipeline, observed in
+/// a scoped registry so its phases do not mix with the batched run's, and
+/// reported as "pencil."-prefixed rows.
+std::vector<obs::report::PhaseStats> run_solver_pencil(bool quick) {
+  obs::Registry reg;
+  obs::Snapshot snap;
+  {
+    obs::ScopedRegistry scope(reg);
+    run_solver(quick, solver::HostPipeline::kPencil);
+    snap = reg.snapshot();
+  }
+  return obs::report::phases_from_ranks(
+      std::span<const obs::Snapshot>(&snap, 1), "pencil.");
 }
 
 /// Four-rank distributed KH run. Each rank thread installs a RankScope so
@@ -170,7 +192,16 @@ int main(int argc, char** argv) {
   }
 
   run_kernels(quick);
-  run_solver(quick);
+  // Primary solver run: the default batched pipeline, overridable via
+  // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd) so CI can
+  // emit one report per pipeline setting from the same binary.
+  solver::HostPipeline pipeline = solver::SrhdSolver::Options{}.pipeline;
+  const char* pipe_env = std::getenv("RSHC_HOST_PIPELINE");
+  if (pipe_env != nullptr && *pipe_env != '\0') {
+    pipeline = solver::parse_host_pipeline(pipe_env);
+  }
+  run_solver(quick, pipeline);
+  std::vector<obs::report::PhaseStats> pencil = run_solver_pencil(quick);
   std::vector<obs::report::PhaseStats> dist = run_distributed(quick);
 
   obs::report::RunReport rep;
@@ -183,6 +214,7 @@ int main(int argc, char** argv) {
 
   const obs::Snapshot snap = obs::Registry::global().snapshot();
   rep.phases = obs::report::phases_from_snapshot(snap);
+  rep.phases.insert(rep.phases.end(), pencil.begin(), pencil.end());
   rep.phases.insert(rep.phases.end(), dist.begin(), dist.end());
   rep.counters = obs::report::counters_from_snapshot(snap);
 

@@ -4,6 +4,7 @@
 // contiguous, 64-byte-aligned slab — the layout batched kernels and the
 // device staging path require.
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 
@@ -54,9 +55,7 @@ class FieldArray {
   [[nodiscard]] std::span<double> flat() { return data_; }
   [[nodiscard]] std::span<const double> flat() const { return data_; }
 
-  void fill(double value) {
-    for (auto& x : data_) x = value;
-  }
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
   /// Linear cell index (k, j, i) within one variable slab.
   [[nodiscard]] std::size_t cell_index(int k, int j, int i) const {

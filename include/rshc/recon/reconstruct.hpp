@@ -40,6 +40,27 @@ enum class Method {
 void reconstruct(Method m, std::span<const double> q, std::span<double> ql,
                  std::span<double> qr);
 
+/// Per-pencil kernel of one scheme, resolvable once per run so batched
+/// callers hoist the method dispatch out of their hot loops. The returned
+/// function is the exact same code `reconstruct` dispatches to, so results
+/// are bitwise identical to the span overload.
+using PencilKernel = void (*)(std::span<const double> q, std::span<double> ql,
+                              std::span<double> qr);
+[[nodiscard]] PencilKernel pencil_kernel(Method m);
+
+/// Reconstruct `nrows` independent pencils of length `n` in one call (one
+/// plane of a block). Pencil r reads q + r*qstride and writes
+/// ql/qr + r*face_stride; strides are in elements and rows may alias
+/// nothing. Dispatch is resolved once for the whole batch.
+void reconstruct_rows(Method m, std::size_t nrows, std::size_t n,
+                      const double* q, std::size_t qstride, double* ql,
+                      double* qr, std::size_t face_stride);
+/// Same, with the scheme already resolved via pencil_kernel (callers that
+/// batch many planes hoist even the one switch per plane).
+void reconstruct_rows(PencilKernel fn, std::size_t nrows, std::size_t n,
+                      const double* q, std::size_t qstride, double* ql,
+                      double* qr, std::size_t face_stride);
+
 /// Formal order of accuracy on smooth solutions (for convergence tables).
 [[nodiscard]] int formal_order(Method m);
 

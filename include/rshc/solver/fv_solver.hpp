@@ -23,6 +23,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "rshc/mesh/block.hpp"
@@ -39,6 +40,25 @@
 
 namespace rshc::solver {
 
+/// Host execution strategy for the per-block hot loops (rhs, RK update,
+/// con2prim, CFL scan). All three settings are bitwise identical; the
+/// batched settings reorganize data movement only, never arithmetic:
+///  - kPencil         per-pencil gather + per-zone state structs (the
+///                    reference path the batched settings are checked
+///                    against)
+///  - kBatchedScalar  slab-wise plane reconstruction, tiled transpose
+///                    gathers, fused span loops; kernels::scalar TUs
+///  - kBatchedSimd    same layout, kernels::simd TUs (-O3, native arch)
+enum class HostPipeline {
+  kPencil,
+  kBatchedScalar,
+  kBatchedSimd,
+};
+
+[[nodiscard]] std::string_view host_pipeline_name(HostPipeline p);
+/// Parse "pencil", "batched-scalar", "batched-simd".
+[[nodiscard]] HostPipeline parse_host_pipeline(std::string_view name);
+
 template <typename Physics>
 class FvSolver {
  public:
@@ -53,6 +73,7 @@ class FvSolver {
     mesh::BoundarySpec bc{};
     Context physics{};
     std::array<int, 3> blocks = {1, 1, 1};
+    HostPipeline pipeline = HostPipeline::kBatchedSimd;
   };
 
   FvSolver(const mesh::Grid& grid, Options opt);
@@ -115,6 +136,11 @@ class FvSolver {
   void set_time(double t) { time_ = t; }
   void recover_all_prims();
 
+  /// Evaluate the flux-divergence RHS for every block from the current
+  /// primitives (benchmark hook: isolates the rhs phase of the selected
+  /// pipeline without stepping).
+  void compute_rhs_all();
+
   /// Per-phase wall-time breakdown, accumulated on the *serial* stepping
   /// path only (experiment F9). Parallel paths skip the timers to avoid
   /// cross-thread races.
@@ -139,11 +165,15 @@ class FvSolver {
   }
 
  private:
-  struct Scratch;  // per-block pencil work arrays
+  struct Scratch;  // per-block pencil + batched-tile work arrays
 
   void exchange_block(int b);
   void compute_rhs(int b);
+  void compute_rhs_pencil(int b);
+  void compute_rhs_batched(int b);
   void update_block(int b, time::StageCoeffs coeffs, double dt);
+  void update_block_pencil(int b, time::StageCoeffs coeffs, double dt);
+  void update_block_batched(int b, time::StageCoeffs coeffs, double dt);
   void save_state();
   void post_step_all();
   void stage_serial(int stage, double dt);
@@ -159,6 +189,7 @@ class FvSolver {
   std::vector<std::unique_ptr<Scratch>> scratch_;
   std::vector<C2PStats> block_stats_;
   std::function<void(int)> ghost_filler_;
+  recon::PencilKernel recon_fn_ = nullptr;  // opt_.recon, resolved once
   bool restricted_ = false;
   C2PStats stats_;
   double time_ = 0.0;

@@ -6,6 +6,7 @@
 // (prim<->cons, interface flux, signal speeds) and the per-step hook used
 // by GLM damping.
 
+#include <cstddef>
 #include <vector>
 
 #include "rshc/eos/ideal_gas.hpp"
@@ -76,6 +77,35 @@ struct SrhdPhysics {
     return Prim{q[srhd::kRho], q[srhd::kVx], q[srhd::kVy], q[srhd::kVz],
                 q[srhd::kP]};
   }
+  /// Decompose a Cons into per-variable values (Var order) — the inverse of
+  /// prim_from_components, used by the batched flux staging.
+  static void cons_components(const Cons& c, double* q) {
+    q[srhd::kD] = c.d;
+    q[srhd::kSx] = c.sx;
+    q[srhd::kSy] = c.sy;
+    q[srhd::kSz] = c.sz;
+    q[srhd::kTau] = c.tau;
+  }
+
+  // Batched span-level kernels for the host pipeline: `u` holds kNumCons
+  // SoA spans in Var order, `w` kNumPrim spans in PrimVar order, all of
+  // length n. `simd` selects the kernel translation unit; both variants
+  // are bitwise-identical to the per-zone to_prim / max_speed calls.
+  static void cons_to_prim_n(bool simd, std::size_t n, const double* const* u,
+                             double* const* w, const Context& ctx,
+                             C2PStats& stats);
+  static void max_speed_n(bool simd, std::size_t n, const double* const* w,
+                          double* speed, const Context& ctx, int ndim);
+  /// Batched limiter + Riemann solve + flux over n interfaces: `wl`/`wr`
+  /// hold kNumPrim face-state rows, `f` receives kNumCons flux rows.
+  /// Returns false when the configured solver has no batched kernel (the
+  /// exact Godunov solve) — the caller then falls back to the
+  /// per-interface path. Bitwise identical to limit_face_state +
+  /// interface_flux per zone.
+  static bool interface_flux_n(bool simd, std::size_t n, int axis,
+                               const double* const* wl,
+                               const double* const* wr, double* const* f,
+                               const Context& ctx);
 
   static Cons to_cons(const Prim& w, const Context& ctx) {
     return srhd::prim_to_cons(w, ctx.eos);
@@ -180,6 +210,28 @@ struct SrmhdPhysics {
     p.psi = q[srmhd::kPsi];
     return p;
   }
+  static void cons_components(const Cons& c, double* q) {
+    q[srmhd::kD] = c.d;
+    q[srmhd::kSx] = c.sx;
+    q[srmhd::kSy] = c.sy;
+    q[srmhd::kSz] = c.sz;
+    q[srmhd::kTau] = c.tau;
+    q[srmhd::kBx] = c.bx;
+    q[srmhd::kBy] = c.by;
+    q[srmhd::kBz] = c.bz;
+    q[srmhd::kPsi] = c.psi;
+  }
+
+  // Batched span-level kernels (see SrhdPhysics for the contract).
+  static void cons_to_prim_n(bool simd, std::size_t n, const double* const* u,
+                             double* const* w, const Context& ctx,
+                             C2PStats& stats);
+  static void max_speed_n(bool simd, std::size_t n, const double* const* w,
+                          double* speed, const Context& ctx, int ndim);
+  static bool interface_flux_n(bool simd, std::size_t n, int axis,
+                               const double* const* wl,
+                               const double* const* wr, double* const* f,
+                               const Context& ctx);
 
   static Cons to_cons(const Prim& w, const Context& ctx) {
     return srmhd::prim_to_cons(w, ctx.eos);
@@ -205,5 +257,12 @@ struct SrmhdPhysics {
   static void post_step(mesh::FieldArray& cons, mesh::FieldArray& prim,
                         const Context& ctx, double dt, double dx_min);
 };
+
+/// y[i] = (a*x[i] + b*y[i]) + c*z[i] over n entries — the RK stage
+/// combination as a physics-agnostic span kernel. `simd` selects the
+/// kernel translation unit; both variants keep the pencil path's
+/// left-associated expression shape, so the result is bitwise identical.
+void rk_combine_n(bool simd, std::size_t n, double a, const double* x,
+                  double b, double* y, double c, const double* z);
 
 }  // namespace rshc::solver

@@ -38,6 +38,9 @@ enum class Variant { kScalar, kSimd };
                    double* speed, double gamma, int ndim);                     \
   /* y[i] = a*x[i] + b*y[i] — the RK stage-combination kernel */               \
   void axpby_n(std::size_t n, double a, const double* x, double b, double* y); \
+  /* y[i] = (a*x[i] + b*y[i]) + c*z[i] — the full three-term RK stage */       \
+  void rk_combine_n(std::size_t n, double a, const double* x, double b,        \
+                    double* y, double c, const double* z);                     \
   /* physical flux along axis over n zones (prim+cons in, flux out) */         \
   void flux_n(std::size_t n, int axis, const double* rho, const double* vx,    \
               const double* vy, const double* vz, const double* p,             \

@@ -102,6 +102,26 @@ void weno5(std::span<const double> q, std::span<double> ql,
   }
 }
 
+// Named wrappers for the PLM template instantiations so every scheme has a
+// PencilKernel-shaped function. Both reconstruct() and the batched rows
+// entry point route through these — one code path, bitwise-identical
+// results regardless of how a pencil reaches it.
+void plm_minmod(std::span<const double> q, std::span<double> ql,
+                std::span<double> qr) {
+  plm(q, ql, qr, [](double a, double b) { return rshc::minmod(a, b); });
+}
+
+void plm_mc(std::span<const double> q, std::span<double> ql,
+            std::span<double> qr) {
+  plm(q, ql, qr, [](double a, double b) { return rshc::mc_slope(a, b); });
+}
+
+void plm_van_leer(std::span<const double> q, std::span<double> ql,
+                  std::span<double> qr) {
+  plm(q, ql, qr,
+      [](double a, double b) { return rshc::van_leer_slope(a, b); });
+}
+
 }  // namespace
 
 int stencil_radius(Method m) {
@@ -154,30 +174,38 @@ int formal_order(Method m) {
   return 1;
 }
 
+PencilKernel pencil_kernel(Method m) {
+  switch (m) {
+    case Method::kPCM: return &pcm;
+    case Method::kPLMMinmod: return &plm_minmod;
+    case Method::kPLMMC: return &plm_mc;
+    case Method::kPLMVanLeer: return &plm_van_leer;
+    case Method::kPPM: return &ppm;
+    case Method::kWENO5: return &weno5;
+  }
+  return &pcm;  // unreachable
+}
+
 void reconstruct(Method m, std::span<const double> q, std::span<double> ql,
                  std::span<double> qr) {
   RSHC_REQUIRE(ql.size() == q.size() && qr.size() == q.size(),
                "reconstruction output size mismatch");
-  switch (m) {
-    case Method::kPCM:
-      pcm(q, ql, qr);
-      break;
-    case Method::kPLMMinmod:
-      plm(q, ql, qr, [](double a, double b) { return rshc::minmod(a, b); });
-      break;
-    case Method::kPLMMC:
-      plm(q, ql, qr, [](double a, double b) { return rshc::mc_slope(a, b); });
-      break;
-    case Method::kPLMVanLeer:
-      plm(q, ql, qr,
-          [](double a, double b) { return rshc::van_leer_slope(a, b); });
-      break;
-    case Method::kPPM:
-      ppm(q, ql, qr);
-      break;
-    case Method::kWENO5:
-      weno5(q, ql, qr);
-      break;
+  pencil_kernel(m)(q, ql, qr);
+}
+
+void reconstruct_rows(Method m, std::size_t nrows, std::size_t n,
+                      const double* q, std::size_t qstride, double* ql,
+                      double* qr, std::size_t face_stride) {
+  reconstruct_rows(pencil_kernel(m), nrows, n, q, qstride, ql, qr,
+                   face_stride);
+}
+
+void reconstruct_rows(PencilKernel fn, std::size_t nrows, std::size_t n,
+                      const double* q, std::size_t qstride, double* ql,
+                      double* qr, std::size_t face_stride) {
+  for (std::size_t r = 0; r < nrows; ++r) {
+    fn({q + r * qstride, n}, {ql + r * face_stride, n},
+       {qr + r * face_stride, n});
   }
 }
 

@@ -1,0 +1,3 @@
+// Baseline (non-vectorized) face-kernel variants; flags set in CMake.
+#define RSHC_KERNEL_NS scalar
+#include "faces_impl.inc"

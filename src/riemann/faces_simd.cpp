@@ -1,0 +1,3 @@
+// Hot face-kernel variants; compiled -O3 (-march=native when enabled).
+#define RSHC_KERNEL_NS simd
+#include "faces_impl.inc"

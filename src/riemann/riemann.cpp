@@ -1,10 +1,10 @@
 #include "rshc/riemann/riemann.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "rshc/analysis/exact_riemann.hpp"
 #include "rshc/common/error.hpp"
+#include "rshc/riemann/face_solvers.hpp"
 
 namespace rshc::riemann {
 
@@ -32,114 +32,6 @@ namespace {
 
 using srhd::Cons;
 using srhd::Prim;
-
-struct Pair {
-  Prim w;
-  Cons u;
-  Cons f;
-  srhd::SignalSpeeds s;
-};
-
-Pair make_side(const Prim& w, int axis, const eos::IdealGas& eos) {
-  Pair p;
-  p.w = w;
-  p.u = srhd::prim_to_cons(w, eos);
-  p.f = srhd::flux(w, p.u, axis);
-  p.s = srhd::signal_speeds(w, axis, eos);
-  return p;
-}
-
-Cons llf(const Pair& l, const Pair& r) {
-  const double a =
-      std::max({std::abs(l.s.lambda_minus), std::abs(l.s.lambda_plus),
-                std::abs(r.s.lambda_minus), std::abs(r.s.lambda_plus)});
-  return 0.5 * (l.f + r.f) + (-0.5 * a) * (r.u - l.u);
-}
-
-Cons hll(const Pair& l, const Pair& r) {
-  const double sl = std::min({0.0, l.s.lambda_minus, r.s.lambda_minus});
-  const double sr = std::max({0.0, l.s.lambda_plus, r.s.lambda_plus});
-  if (sl >= 0.0) return l.f;
-  if (sr <= 0.0) return r.f;
-  const double inv = 1.0 / (sr - sl);
-  return inv * ((sr * l.f) + (-sl) * r.f + (sl * sr) * (r.u - l.u));
-}
-
-/// Mignone & Bodo (2005) HLLC. Works with the *total* energy E = tau + D
-/// (whose flux is the normal momentum) and converts back at the end.
-Cons hllc(const Pair& l, const Pair& r, int axis) {
-  const double sl = std::min(l.s.lambda_minus, r.s.lambda_minus);
-  const double sr = std::max(l.s.lambda_plus, r.s.lambda_plus);
-  if (sl >= 0.0) return l.f;
-  if (sr <= 0.0) return r.f;
-
-  // HLL-averaged state and flux of (E, m_n).
-  const double inv = 1.0 / (sr - sl);
-  auto hll_avg = [&](double ul, double ur, double fl, double fr) {
-    return (sr * ur - sl * ul + fl - fr) * inv;
-  };
-  auto hll_flux = [&](double ul, double ur, double fl, double fr) {
-    return (sr * fl - sl * fr + sl * sr * (ur - ul)) * inv;
-  };
-
-  const double El = l.u.tau + l.u.d;
-  const double Er = r.u.tau + r.u.d;
-  const double fEl = l.f.tau + l.f.d;  // = m_n,L
-  const double fEr = r.f.tau + r.f.d;
-  const double ml = l.u.s(axis);
-  const double mr = r.u.s(axis);
-  const double fml = l.f.s(axis);
-  const double fmr = r.f.s(axis);
-
-  const double E_h = hll_avg(El, Er, fEl, fEr);
-  const double m_h = hll_avg(ml, mr, fml, fmr);
-  const double fE_h = hll_flux(El, Er, fEl, fEr);
-  const double fm_h = hll_flux(ml, mr, fml, fmr);
-
-  // Contact speed: the physical root of
-  //   fE_h lam^2 - (E_h + fm_h) lam + m_h = 0.
-  double lam_star;
-  const double a = fE_h;
-  const double b = -(E_h + fm_h);
-  const double c = m_h;
-  if (std::abs(a) > 1e-12 * std::max(std::abs(b), 1.0)) {
-    const double disc = std::max(0.0, b * b - 4.0 * a * c);
-    // Minus root (Mignone & Bodo 2005, eq. 18) is the causal one.
-    lam_star = (-b - std::sqrt(disc)) / (2.0 * a);
-  } else {
-    lam_star = -c / b;
-  }
-  lam_star = std::clamp(lam_star, sl, sr);
-
-  const double p_star = fm_h - fE_h * lam_star;
-
-  auto star_flux = [&](const Pair& k, double sk) {
-    const double vk = k.w.v(axis);
-    const double Ek = k.u.tau + k.u.d;
-    const double fac = (sk - vk) / (sk - lam_star);
-    Cons star;
-    star.d = k.u.d * fac;
-    // Normal momentum gains the pressure jump; transverse just advect.
-    const double mk = k.u.s(axis);
-    const double m_star =
-        (mk * (sk - vk) + p_star - k.w.p) / (sk - lam_star);
-    star.sx = k.u.sx * fac;
-    star.sy = k.u.sy * fac;
-    star.sz = k.u.sz * fac;
-    switch (axis) {
-      case 0: star.sx = m_star; break;
-      case 1: star.sy = m_star; break;
-      default: star.sz = m_star; break;
-    }
-    const double E_star =
-        (Ek * (sk - vk) + p_star * lam_star - k.w.p * vk) / (sk - lam_star);
-    star.tau = E_star - star.d;
-    return k.f + sk * (star - k.u);
-  };
-
-  if (lam_star >= 0.0) return star_flux(l, sl);
-  return star_flux(r, sr);
-}
 
 /// Godunov flux from the exact Riemann solution sampled on the interface
 /// characteristic xi = 0. Transverse velocity is taken from the upwind
@@ -176,55 +68,21 @@ Cons exact_godunov(const Prim& wl, const Prim& wr, int axis,
 srhd::Cons solve_srhd(Solver s, const srhd::Prim& wl, const srhd::Prim& wr,
                       int axis, const eos::IdealGas& eos) {
   if (s == Solver::kExact) return exact_godunov(wl, wr, axis, eos);
-  const Pair l = make_side(wl, axis, eos);
-  const Pair r = make_side(wr, axis, eos);
+  const detail::SrhdSide l = detail::srhd_side(wl, axis, eos);
+  const detail::SrhdSide r = detail::srhd_side(wr, axis, eos);
   switch (s) {
-    case Solver::kLLF: return llf(l, r);
-    case Solver::kHLL: return hll(l, r);
-    case Solver::kHLLC: return hllc(l, r, axis);
+    case Solver::kLLF: return detail::llf(l, r);
+    case Solver::kHLL: return detail::hll(l, r);
+    case Solver::kHLLC: return detail::hllc(l, r, axis);
     case Solver::kExact: break;  // handled above
   }
-  return hll(l, r);  // unreachable
+  return detail::hll(l, r);  // unreachable
 }
 
 srmhd::Cons solve_srmhd_hll(const srmhd::Prim& wl, const srmhd::Prim& wr,
                             int axis, const eos::IdealGas& eos,
                             const srmhd::GlmParams& glm) {
-  const srmhd::Cons ul = srmhd::prim_to_cons(wl, eos);
-  const srmhd::Cons ur = srmhd::prim_to_cons(wr, eos);
-  const srmhd::Cons fl = srmhd::flux(wl, ul, axis, eos);
-  const srmhd::Cons fr = srmhd::flux(wr, ur, axis, eos);
-  const srmhd::SignalSpeeds ssl = srmhd::fast_speeds(wl, axis, eos);
-  const srmhd::SignalSpeeds ssr = srmhd::fast_speeds(wr, axis, eos);
-
-  const double sl = std::min({0.0, ssl.lambda_minus, ssr.lambda_minus});
-  const double sr = std::max({0.0, ssl.lambda_plus, ssr.lambda_plus});
-
-  srmhd::Cons f;
-  if (sl >= 0.0) {
-    f = fl;
-  } else if (sr <= 0.0) {
-    f = fr;
-  } else {
-    const double inv = 1.0 / (sr - sl);
-    f = inv * ((sr * fl) + (-sl) * fr + (sl * sr) * (ur - ul));
-  }
-
-  if (glm.enabled) {
-    const double bn_l = wl.b(axis);
-    const double bn_r = wr.b(axis);
-    const auto g =
-        srmhd::glm_interface_flux(bn_l, wl.psi, bn_r, wr.psi, glm.ch);
-    switch (axis) {
-      case 0: f.bx = g.flux_bn; break;
-      case 1: f.by = g.flux_bn; break;
-      default: f.bz = g.flux_bn; break;
-    }
-    f.psi = g.flux_psi;
-  } else {
-    f.psi = 0.0;
-  }
-  return f;
+  return detail::srmhd_hll(wl, wr, axis, eos, glm);
 }
 
 }  // namespace rshc::riemann

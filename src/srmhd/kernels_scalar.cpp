@@ -1,0 +1,3 @@
+// Baseline kernel variants; compiled -O2 with vectorization disabled.
+#define RSHC_KERNEL_NS scalar
+#include "kernels_impl.inc"

@@ -1,0 +1,252 @@
+// Pencil vs batched host-pipeline equivalence: the batched slab-wise rhs /
+// RK update / con2prim / CFL path (DESIGN.md system #12) promises *bitwise*
+// identical states to the per-pencil reference, for every reconstruction
+// scheme, Riemann solver, physics system, and dimensionality — including
+// the restricted-block (distributed per-rank) constructor. Any ulp of
+// drift here means the batched path reassociated arithmetic or reordered
+// an accumulation, which this suite exists to catch.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <tuple>
+
+#include "rshc/problems/problems.hpp"
+#include "rshc/solver/fv_solver.hpp"
+
+namespace {
+
+using namespace rshc;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Count elements whose *bit patterns* differ (tolerates nothing, not even
+/// -0.0 vs +0.0 or differing NaN payloads).
+int count_bit_diffs(std::span<const double> a, std::span<const double> b) {
+  EXPECT_EQ(a.size(), b.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) ++diffs;
+  }
+  return diffs;
+}
+
+/// Run `nsteps` fixed-dt steps under the pencil pipeline and under
+/// `batched`, then require bitwise-equal cons and prim fields on every
+/// block, an identical dt, and identical con2prim health counters.
+template <typename Solver, typename Ic>
+void expect_pipelines_identical(const mesh::Grid& g,
+                                typename Solver::Options opt, const Ic& ic,
+                                int nsteps, solver::HostPipeline batched) {
+  opt.pipeline = solver::HostPipeline::kPencil;
+  Solver ref(g, opt);
+  ref.initialize(ic);
+  opt.pipeline = batched;
+  Solver s(g, opt);
+  s.initialize(ic);
+
+  const double dt = ref.compute_dt();
+  EXPECT_EQ(dt, s.compute_dt()) << "batched compute_dt drifted";
+  for (int n = 0; n < nsteps; ++n) {
+    ref.step(dt);
+    s.step(dt);
+  }
+
+  ASSERT_EQ(ref.num_blocks(), s.num_blocks());
+  for (int b = 0; b < ref.num_blocks(); ++b) {
+    EXPECT_EQ(count_bit_diffs(ref.block(b).cons().flat(),
+                              s.block(b).cons().flat()),
+              0)
+        << "cons mismatch on block " << b;
+    EXPECT_EQ(count_bit_diffs(ref.block(b).prim().flat(),
+                              s.block(b).prim().flat()),
+              0)
+        << "prim mismatch on block " << b;
+  }
+  EXPECT_EQ(ref.c2p_stats().total_iterations, s.c2p_stats().total_iterations);
+  EXPECT_EQ(ref.c2p_stats().floored_zones, s.c2p_stats().floored_zones);
+}
+
+/// SRHD workload with structure along every active axis: a shock-tube jump
+/// in x riding on smooth transverse variations, so reconstruction,
+/// limiting, and flux accumulation are all exercised per axis.
+srhd::Prim srhd_ic(double x, double y, double z) {
+  const bool left = x < 0.5;
+  srhd::Prim p;
+  p.rho = (left ? 1.0 : 0.125) + 0.05 * std::sin(2.0 * kPi * y) +
+          0.05 * std::cos(2.0 * kPi * z);
+  p.vx = left ? 0.1 : -0.1;
+  p.vy = 0.05 * std::sin(2.0 * kPi * x);
+  p.vz = 0.05 * std::cos(2.0 * kPi * y);
+  p.p = (left ? 1.0 : 0.1) + 0.02 * std::sin(2.0 * kPi * (x + z));
+  return p;
+}
+
+/// SRMHD analogue: Balsara-1-like jump plus transverse field structure.
+srmhd::Prim srmhd_ic(double x, double y, double z) {
+  const bool left = x < 0.5;
+  srmhd::Prim p;
+  p.rho = left ? 1.0 : 0.125;
+  p.vx = 0.05 * std::sin(2.0 * kPi * y);
+  p.vy = 0.05 * std::cos(2.0 * kPi * x);
+  p.vz = 0.02 * std::sin(2.0 * kPi * z);
+  p.p = left ? 1.0 : 0.1;
+  p.bx = 0.5;
+  p.by = (left ? 1.0 : -1.0) + 0.1 * std::sin(2.0 * kPi * z);
+  p.bz = 0.1 * std::cos(2.0 * kPi * y);
+  p.psi = 0.0;
+  return p;
+}
+
+/// Grid + step count per dimensionality (small but multi-block in 1D/2D).
+struct Case {
+  mesh::Grid grid;
+  std::array<int, 3> blocks;
+  int nsteps;
+};
+
+Case make_case(int ndim) {
+  switch (ndim) {
+    case 1:
+      return {mesh::Grid::make_1d(64, 0.0, 1.0), {2, 1, 1}, 4};
+    case 2:
+      return {mesh::Grid::make_2d(24, 16, 0.0, 1.0, 0.0, 1.0), {2, 2, 1}, 3};
+    default:
+      return {mesh::Grid(3, {12, 8, 8}, {0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}),
+              {1, 1, 1},
+              2};
+  }
+}
+
+using SrhdCombo = std::tuple<int, recon::Method, riemann::Solver>;
+
+class RhsPipelineSrhd : public ::testing::TestWithParam<SrhdCombo> {};
+
+TEST_P(RhsPipelineSrhd, BatchedMatchesPencilBitwise) {
+  const auto [ndim, rm, rs] = GetParam();
+  const Case c = make_case(ndim);
+  solver::SrhdSolver::Options opt;
+  opt.recon = rm;
+  opt.cfl = 0.3;
+  opt.bc.type = {mesh::BcType::kOutflow, mesh::BcType::kPeriodic,
+                 mesh::BcType::kPeriodic};
+  opt.physics.riemann = rs;
+  opt.blocks = c.blocks;
+  expect_pipelines_identical<solver::SrhdSolver>(
+      c.grid, opt, srhd_ic, c.nsteps, solver::HostPipeline::kBatchedSimd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RhsPipelineSrhd,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(recon::Method::kPCM, recon::Method::kPLMMinmod,
+                          recon::Method::kPLMMC, recon::Method::kPLMVanLeer,
+                          recon::Method::kPPM, recon::Method::kWENO5),
+        ::testing::Values(riemann::Solver::kLLF, riemann::Solver::kHLL,
+                          riemann::Solver::kHLLC)));
+
+using SrmhdCombo = std::tuple<int, recon::Method>;
+
+class RhsPipelineSrmhd : public ::testing::TestWithParam<SrmhdCombo> {};
+
+TEST_P(RhsPipelineSrmhd, BatchedMatchesPencilBitwise) {
+  const auto [ndim, rm] = GetParam();
+  const Case c = make_case(ndim);
+  solver::SrmhdSolver::Options opt;
+  opt.recon = rm;
+  opt.cfl = 0.25;
+  opt.bc.type = {mesh::BcType::kOutflow, mesh::BcType::kPeriodic,
+                 mesh::BcType::kPeriodic};
+  opt.blocks = c.blocks;
+  expect_pipelines_identical<solver::SrmhdSolver>(
+      c.grid, opt, srmhd_ic, c.nsteps, solver::HostPipeline::kBatchedSimd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RhsPipelineSrmhd,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(recon::Method::kPCM, recon::Method::kPLMMinmod,
+                          recon::Method::kPLMMC, recon::Method::kPLMVanLeer,
+                          recon::Method::kPPM, recon::Method::kWENO5)));
+
+// The scalar batched variant must hit the same bits as well — it routes
+// through the kernels::scalar TUs instead of kernels::simd.
+TEST(RhsPipeline, BatchedScalarMatchesPencilBitwiseSrhd) {
+  const Case c = make_case(2);
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kWENO5;
+  opt.cfl = 0.3;
+  opt.bc.type = {mesh::BcType::kOutflow, mesh::BcType::kPeriodic,
+                 mesh::BcType::kPeriodic};
+  opt.physics.riemann = riemann::Solver::kHLLC;
+  opt.blocks = c.blocks;
+  expect_pipelines_identical<solver::SrhdSolver>(
+      c.grid, opt, srhd_ic, c.nsteps, solver::HostPipeline::kBatchedScalar);
+}
+
+TEST(RhsPipeline, BatchedScalarMatchesPencilBitwiseSrmhd) {
+  const Case c = make_case(2);
+  solver::SrmhdSolver::Options opt;
+  opt.recon = recon::Method::kPLMMC;
+  opt.cfl = 0.25;
+  opt.bc.type = {mesh::BcType::kOutflow, mesh::BcType::kPeriodic,
+                 mesh::BcType::kPeriodic};
+  opt.blocks = c.blocks;
+  expect_pipelines_identical<solver::SrmhdSolver>(
+      c.grid, opt, srmhd_ic, c.nsteps, solver::HostPipeline::kBatchedScalar);
+}
+
+// Restricted-block construction (the distributed driver's per-rank view)
+// must flow through the batched pipeline too. Both solvers own a single
+// block covering the full grid and fill ghosts through the same manual
+// physical-boundary filler.
+TEST(RhsPipeline, RestrictedBlockBatchedMatchesPencil) {
+  const mesh::Grid g = mesh::Grid::make_2d(20, 12, 0.0, 1.0, 0.0, 1.0);
+  const mesh::BlockExtents sub{{0, 0, 0}, {20, 12, 1}};
+  solver::SrhdSolver::Options opt;
+  opt.recon = recon::Method::kPPM;
+  opt.cfl = 0.3;
+  opt.bc = mesh::BoundarySpec::all(mesh::BcType::kOutflow);
+  opt.physics.riemann = riemann::Solver::kHLL;
+
+  auto make = [&](solver::HostPipeline p) {
+    opt.pipeline = p;
+    auto s = std::make_unique<solver::SrhdSolver>(g, opt, sub);
+    solver::SrhdSolver* raw = s.get();
+    s->set_ghost_filler([raw](int) {
+      auto& blk = raw->block(0);
+      for (int axis = 0; axis < 2; ++axis) {
+        for (int side = 0; side < 2; ++side) {
+          const auto negate = solver::SrhdPhysics::reflect_negate_vars(axis);
+          mesh::apply_physical_boundary(blk, axis, side,
+                                        mesh::BcType::kOutflow, negate);
+        }
+      }
+    });
+    s->initialize(srhd_ic);
+    return s;
+  };
+
+  auto ref = make(solver::HostPipeline::kPencil);
+  auto s = make(solver::HostPipeline::kBatchedSimd);
+  const double dt = ref->compute_dt();
+  EXPECT_EQ(dt, s->compute_dt());
+  for (int n = 0; n < 3; ++n) {
+    ref->step(dt);
+    s->step(dt);
+  }
+  EXPECT_EQ(
+      count_bit_diffs(ref->block(0).cons().flat(), s->block(0).cons().flat()),
+      0);
+  EXPECT_EQ(
+      count_bit_diffs(ref->block(0).prim().flat(), s->block(0).prim().flat()),
+      0);
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "rshc/analysis/exact_riemann.hpp"
 #include "rshc/analysis/norms.hpp"
@@ -58,6 +59,25 @@ TEST_P(SchemeMatrix, SodTubeStaysPhysicalAndAccurate) {
   // under this; blow-ups land far above it.
   EXPECT_LT(analysis::l1_error(rho, ref), 0.08);
   EXPECT_EQ(s.c2p_stats().floored_zones, 0);
+
+  // The run above used the default batched pipeline. Replaying it on the
+  // per-pencil reference path (adaptive dt and all) must land on the exact
+  // same bits — the batched pipeline's core contract, checked here across
+  // the full scheme matrix on a complete shock-tube evolution.
+  opt.pipeline = solver::HostPipeline::kPencil;
+  solver::SrhdSolver pencil(g, opt);
+  pencil.initialize(problems::shock_tube_ic(st));
+  pencil.advance_to(st.t_final);
+  const auto rho_p = pencil.gather_prim_var(srhd::kRho);
+  const auto p_p = pencil.gather_prim_var(srhd::kP);
+  int diffs = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    if (std::memcmp(&rho[i], &rho_p[i], sizeof(double)) != 0 ||
+        std::memcmp(&p[i], &p_p[i], sizeof(double)) != 0) {
+      ++diffs;
+    }
+  }
+  EXPECT_EQ(diffs, 0) << "batched pipeline diverged from pencil reference";
 }
 
 INSTANTIATE_TEST_SUITE_P(
