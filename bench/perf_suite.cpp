@@ -14,21 +14,29 @@
 //     its own Registry via report::RankScope, and the per-rank snapshots
 //     are merged into "dist."-prefixed rows with min/mean/max/imbalance
 //     across ranks.
+//  4. F8 accelerator crossover counters (perf.f8.*): where the staged and
+//     resident con2prim offload modes reach host parity, against the
+//     zones-per-step of workload 2 — see run_f8_crossover below.
 //
 // Output path comes from RSHC_PERF_OUT (default BENCH_perf.json). Compare
 // two runs with tools/perf_report.py; CI's perf-smoke lane gates on the
 // structural checks only, since container timings are noisy.
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <random>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "exp_common.hpp"
 #include "rshc/common/timer.hpp"
 #include "rshc/comm/communicator.hpp"
+#include "rshc/device/device.hpp"
 #include "rshc/mesh/grid.hpp"
 #include "rshc/obs/obs.hpp"
 #include "rshc/obs/report.hpp"
@@ -122,6 +130,116 @@ void run_kernels(bool quick) {
   });
 }
 
+/// Best-of-`reps` wall time of `fn`; the min filters scheduler noise the
+/// way the crossover counters need (a single slow outlier must not move a
+/// quantized crossover point).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Experiment F8 distilled into three report counters, so the perf report
+/// (and `tools/perf_report.py compare`, which renders them as first-class
+/// rows) tracks where each offload mode reaches the host-parity band
+/// (>= 90% of host-simd con2prim throughput):
+///
+///   perf.f8.crossover_batch.staged   — smallest swept batch for the naive
+///       offload (full upload/kernel/download round trip every call).
+///   perf.f8.crossover_batch.resident — same for the persistent-residency
+///       mode the FvSolver kDevice pipeline uses: state stays on the
+///       device, only a halo slab moves per call, overlapped on a second
+///       stream. This is the crossover the residency work exists to pull
+///       into real step-size range.
+///   perf.f8.kh_step_zones            — zone updates one step of this
+///       suite's KH workload performs (interior zones x RK stages): the
+///       "real" batch size a step hands the device, i.e. the bar the
+///       resident crossover must clear.
+///
+/// 0 = never crossed within the sweep. Values are quantized to the x4
+/// sweep, so the comparator can tolerate one-step timing jitter while
+/// still catching a mode that drops out of the swept range entirely.
+void run_f8_crossover(bool quick, std::int64_t kh_step_zones) {
+  const std::array<std::size_t, 5> batches = {256, 1024, 4096, 16384, 65536};
+  const int reps = quick ? 2 : 4;
+  constexpr double kParityBand = 0.90;
+  const srhd::Con2PrimOptions c2p_opt;
+
+  std::int64_t staged_cross = 0;
+  std::int64_t resident_cross = 0;
+  for (const std::size_t n : batches) {
+    Soa b(n);
+    auto host_run = [&] {
+      srhd::kernels::simd::cons_to_prim_n(
+          n, b.d.data(), b.sx.data(), b.sy.data(), b.sz.data(),
+          b.tau.data(), b.o1.data(), b.o2.data(), b.o3.data(), b.o4.data(),
+          b.o5.data(), kGamma, c2p_opt);
+    };
+    host_run();  // warm-up
+    const double host_sec = best_seconds(reps, host_run);
+
+    auto dev = device::make_device(device::Backend::kAccelSim, {});
+    std::array<device::Buffer, 10> bufs;
+    for (auto& buf : bufs) buf = dev->alloc(n);
+    auto view = [&](int i) {
+      return bufs[static_cast<std::size_t>(i)].device_view().data();
+    };
+    const auto o = c2p_opt;
+    auto dev_kernel = [=] {
+      srhd::kernels::simd::cons_to_prim_n(
+          n, view(0), view(1), view(2), view(3), view(4), view(5), view(6),
+          view(7), view(8), view(9), kGamma, o);
+    };
+
+    // Staged: the full state crosses the link in both directions per call.
+    const double staged_sec = best_seconds(reps, [&] {
+      dev->upload_async(b.d, bufs[0]);
+      dev->upload_async(b.sx, bufs[1]);
+      dev->upload_async(b.sy, bufs[2]);
+      dev->upload_async(b.sz, bufs[3]);
+      dev->upload_async(b.tau, bufs[4]);
+      dev->launch(dev_kernel, n);
+      dev->download_async(bufs[5], b.o1);
+      dev->download_async(bufs[6], b.o2);
+      dev->download_async(bufs[7], b.o3);
+      dev->download_async(bufs[8], b.o4);
+      dev->download_async(bufs[9], b.o5);
+      dev->synchronize();
+    });
+
+    // Resident: state persists on the device (uploaded above); per call
+    // only a halo slab moves, on the transfer stream while the kernel runs
+    // on the compute stream — the kDevice pipeline's steady-state shape.
+    const device::StreamId transfer = dev->create_stream();
+    const std::size_t halo = bench::f8_halo_zones(n);
+    std::vector<double> halo_host(halo, 1.0);
+    device::Buffer halo_buf = dev->alloc(halo);
+    const double resident_sec = best_seconds(reps, [&] {
+      dev->download_async(halo_buf, halo_host, transfer);
+      dev->upload_async(halo_host, halo_buf, transfer);
+      dev->launch(dev_kernel, n);
+      dev->synchronize();
+    });
+
+    const auto batch = static_cast<std::int64_t>(n);
+    if (staged_cross == 0 && host_sec / staged_sec >= kParityBand) {
+      staged_cross = batch;
+    }
+    if (resident_cross == 0 && host_sec / resident_sec >= kParityBand) {
+      resident_cross = batch;
+    }
+  }
+
+  RSHC_OBS_COUNT("perf.f8.crossover_batch.staged", staged_cross);
+  RSHC_OBS_COUNT("perf.f8.crossover_batch.resident", resident_cross);
+  RSHC_OBS_COUNT("perf.f8.kh_step_zones", kh_step_zones);
+}
+
 solver::SrhdSolver::Options kh_options() {
   solver::SrhdSolver::Options opt;
   opt.recon = recon::Method::kPLMMC;
@@ -192,9 +310,17 @@ int main(int argc, char** argv) {
   }
 
   run_kernels(quick);
+  // Zone updates per KH step: interior zones x the 3 SSP-RK stages the
+  // solver runs per step (solver.phase.* counts in any report confirm the
+  // stage count: phase count / solver.steps).
+  run_f8_crossover(quick, /*kh_step_zones=*/3 * (quick ? 32LL * 32LL
+                                                       : 64LL * 64LL));
   // Primary solver run: the default batched pipeline, overridable via
-  // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd) so CI can
-  // emit one report per pipeline setting from the same binary.
+  // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd | device)
+  // so CI can emit one report per pipeline setting from the same binary —
+  // the device report (BENCH_perf_device.json) exercises the resident
+  // offload end-to-end, worker-thread kernel phases and transfer byte
+  // counters included.
   solver::HostPipeline pipeline = solver::SrhdSolver::Options{}.pipeline;
   const char* pipe_env = std::getenv("RSHC_HOST_PIPELINE");
   if (pipe_env != nullptr && *pipe_env != '\0') {

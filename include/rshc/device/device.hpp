@@ -3,11 +3,18 @@
 //   kHostScalar — kernels run inline on the calling thread (baseline).
 //   kHostSimd   — kernels run inline but callers select the vectorized
 //                 kernel variants (see srhd/kernels_simd.*).
-//   kAccelSim   — simulated accelerator: a dedicated stream worker executes
-//                 kernels in submission order, and all data movement goes
-//                 through upload/download with a modeled PCIe-like cost
+//   kAccelSim   — simulated accelerator: dedicated in-order stream workers
+//                 execute kernels in submission order, and all data movement
+//                 goes through upload/download with a modeled PCIe-like cost
 //                 (latency + bandwidth), exercising the same staging and
 //                 overlap logic a real GPU offload needs.
+//
+// Streams follow the CUDA model: every device starts with one default
+// stream (id 0); create_stream() adds further independent in-order queues.
+// Work on different streams may overlap; cross-stream ordering is imposed
+// only by wait_event(stream, event) — the analogue of
+// cudaStreamWaitEvent — which makes `stream` hold until `event` (returned
+// by an upload/download/launch on another stream) has completed.
 
 #include <functional>
 #include <memory>
@@ -21,6 +28,10 @@ namespace rshc::device {
 enum class Backend { kHostScalar, kHostSimd, kAccelSim };
 
 [[nodiscard]] std::string_view backend_name(Backend b);
+
+/// In-order work queue handle; 0 is the default stream every device owns.
+using StreamId = int;
+inline constexpr StreamId kDefaultStream = 0;
 
 /// Accelerator transfer cost model; defaults approximate a PCIe 3.0 x16 link.
 struct AccelModel {
@@ -46,15 +57,24 @@ class Device {
 
   [[nodiscard]] virtual Buffer alloc(std::size_t n) = 0;
 
-  /// Asynchronous host->device copy (ordered w.r.t. other stream work).
-  virtual Event upload_async(std::span<const double> host, Buffer& dst) = 0;
+  /// New independent in-order stream; returns its id. Host devices execute
+  /// everything inline, so their "streams" are trivially ordered.
+  [[nodiscard]] virtual StreamId create_stream() = 0;
+
+  /// Asynchronous host->device copy (ordered w.r.t. other work on `stream`).
+  virtual Event upload_async(std::span<const double> host, Buffer& dst,
+                             StreamId stream = kDefaultStream) = 0;
   /// Asynchronous device->host copy.
-  virtual Event download_async(const Buffer& src, std::span<double> host) = 0;
+  virtual Event download_async(const Buffer& src, std::span<double> host,
+                               StreamId stream = kDefaultStream) = 0;
   /// Enqueue a kernel; it may touch device_view() of this device's buffers.
   /// `work_items` feeds the launch-overhead model (0 = untimed).
-  virtual Event launch(std::function<void()> kernel,
-                       std::size_t work_items = 0) = 0;
-  /// Block until all submitted work has completed.
+  virtual Event launch(std::function<void()> kernel, std::size_t work_items = 0,
+                       StreamId stream = kDefaultStream) = 0;
+  /// Make `stream` wait until `event` has completed before running any work
+  /// submitted to it afterwards (cross-stream fence; no-op if already set).
+  virtual void wait_event(StreamId stream, Event event) = 0;
+  /// Block until all submitted work on all streams has completed.
   virtual void synchronize() = 0;
 
  protected:

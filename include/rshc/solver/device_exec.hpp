@@ -1,0 +1,103 @@
+#pragma once
+// Device-resident execution of the FvSolver hot path (DESIGN.md systems
+// #4/#12): each block's cons/prim/u0/du live in a per-block device arena
+// that persists across steps, so after the initial residency upload only
+// halo-sized payloads cross the H2D/D2H boundary — interior rims come down
+// for the host-side ghost logic (sibling copies, physical BCs, or the
+// distributed driver's custom filler), freshly filled ghost shells go back
+// up. Transfers ride a dedicated transfer stream and are fenced against a
+// compute stream with device::Events, so one block's rhs/update kernels
+// run while the next block's halo upload is still in flight.
+//
+// The kernels launched here call the same compiled core::rhs_batched /
+// core::update_batched / core::max_wave_speed_batched instantiations as
+// the host batched pipelines (rhs_core.cpp, -ffp-contract=off recipe), so
+// HostPipeline::kDevice is bitwise identical to the pencil and batched
+// host paths by construction — pinned by tests/test_device_pipeline.cpp.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rshc/device/device.hpp"
+#include "rshc/mesh/block.hpp"
+#include "rshc/mesh/grid.hpp"
+#include "rshc/recon/reconstruct.hpp"
+#include "rshc/solver/physics.hpp"
+
+namespace rshc::solver {
+
+template <typename Physics>
+class DeviceExec {
+ public:
+  using Context = typename Physics::Context;
+
+  /// `blocks` is the solver's host mirror; it must outlive this object.
+  DeviceExec(const mesh::Grid& grid, std::vector<mesh::Block>& blocks,
+             const Context& ctx, recon::PencilKernel recon_fn,
+             device::AccelModel model);
+  ~DeviceExec();
+
+  /// True while the device arenas hold the authoritative state.
+  [[nodiscard]] bool resident() const { return resident_; }
+  /// Host mirror was rewritten (initialize/restart); re-upload next step.
+  void invalidate() { resident_ = false; }
+
+  /// Establish residency: full cons+prim upload for every block. No-op
+  /// when already resident — steady-state steps move only halos.
+  void ensure_resident();
+
+  /// Device-side u0 = cons for every block (RK reference state).
+  void save_state();
+
+  /// One RK stage (u = (ca*u0 + cb*u) + cdt*du, then con2prim):
+  ///   1. pack interior rims on the compute stream, download them on the
+  ///      transfer stream (event-fenced), unpack into the host mirror;
+  ///   2. run `exchange` per block (FvSolver's exchange_block, including
+  ///      any custom ghost filler) against the host mirror;
+  ///   3. pack ghost shells, upload on the transfer stream, and enqueue
+  ///      unpack + rhs + update kernels that wait on the upload event —
+  ///      block b computes while block b+1's upload is in flight.
+  /// `stats[b]` receives the con2prim counters (read only after
+  /// synchronize()).
+  void stage(double ca, double cb, double cdt,
+             const std::function<void(int)>& exchange,
+             std::vector<C2PStats>& stats);
+
+  /// Device-side per-step hook (GLM psi damping; no-op for SRHD).
+  void post_step(double dt, double dx_min);
+
+  /// Interior max signal speed from the device-resident state (the CFL
+  /// scan as a device kernel + one scalar-sized download per block).
+  [[nodiscard]] double max_wave_speed();
+
+  /// Copy cons+prim back into the host mirror (residency is kept; the
+  /// mirror becomes a consistent snapshot).
+  void download_all();
+
+  /// Drain both streams; after this the host may read `stats`.
+  void synchronize();
+
+ private:
+  struct Arena;
+
+  const mesh::Grid* grid_;
+  std::vector<mesh::Block>* blocks_;
+  Context ctx_;
+  recon::PencilKernel recon_fn_;
+  std::unique_ptr<device::Device> dev_;
+  device::StreamId compute_ = device::kDefaultStream;
+  device::StreamId transfer_ = device::kDefaultStream;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  device::Buffer vmax_dev_;
+  std::vector<double> vmax_host_;
+  bool resident_ = false;
+};
+
+using SrhdDeviceExec = DeviceExec<SrhdPhysics>;
+using SrmhdDeviceExec = DeviceExec<SrmhdPhysics>;
+
+extern template class DeviceExec<SrhdPhysics>;
+extern template class DeviceExec<SrmhdPhysics>;
+
+}  // namespace rshc::solver

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rshc/device/device.hpp"
 #include "rshc/mesh/block.hpp"
 #include "rshc/mesh/boundary.hpp"
 #include "rshc/mesh/decomposition.hpp"
@@ -40,24 +41,33 @@
 
 namespace rshc::solver {
 
-/// Host execution strategy for the per-block hot loops (rhs, RK update,
-/// con2prim, CFL scan). All three settings are bitwise identical; the
-/// batched settings reorganize data movement only, never arithmetic:
+/// Execution strategy for the per-block hot loops (rhs, RK update,
+/// con2prim, CFL scan). All settings are bitwise identical; they
+/// reorganize data movement only, never arithmetic:
 ///  - kPencil         per-pencil gather + per-zone state structs (the
-///                    reference path the batched settings are checked
+///                    reference path the other settings are checked
 ///                    against)
 ///  - kBatchedScalar  slab-wise plane reconstruction, tiled transpose
 ///                    gathers, fused span loops; kernels::scalar TUs
 ///  - kBatchedSimd    same layout, kernels::simd TUs (-O3, native arch)
+///  - kDevice         the batched cores launched as kernels on the
+///                    simulated accelerator (DeviceExec): per-block state
+///                    is device-resident across steps, only halo slabs
+///                    cross the H2D/D2H boundary, transfers overlap with
+///                    interior compute on a second stream
 enum class HostPipeline {
   kPencil,
   kBatchedScalar,
   kBatchedSimd,
+  kDevice,
 };
 
 [[nodiscard]] std::string_view host_pipeline_name(HostPipeline p);
-/// Parse "pencil", "batched-scalar", "batched-simd".
+/// Parse "pencil", "batched-scalar", "batched-simd", "device".
 [[nodiscard]] HostPipeline parse_host_pipeline(std::string_view name);
+
+template <typename Physics>
+class DeviceExec;
 
 template <typename Physics>
 class FvSolver {
@@ -74,6 +84,9 @@ class FvSolver {
     Context physics{};
     std::array<int, 3> blocks = {1, 1, 1};
     HostPipeline pipeline = HostPipeline::kBatchedSimd;
+    /// Transfer/launch cost model for HostPipeline::kDevice (tests pass a
+    /// zero-cost model; benchmarks keep the PCIe-like defaults).
+    device::AccelModel accel{};
   };
 
   FvSolver(const mesh::Grid& grid, Options opt);
@@ -164,6 +177,18 @@ class FvSolver {
     ghost_filler_ = std::move(filler);
   }
 
+  // --- device offload (HostPipeline::kDevice) -------------------------
+  /// True when device arenas hold the authoritative state (the host
+  /// mirror's interior may be stale between sync_from_device calls).
+  [[nodiscard]] bool device_resident() const;
+  /// Drain the device and copy cons+prim back into the host mirror so
+  /// prim_at / gather_prim_var / total_cons / offload see current data.
+  /// Residency is kept; no-op when not resident.
+  void sync_from_device();
+  /// Switch the execution pipeline mid-run. Leaving kDevice syncs the
+  /// host mirror and drops residency (the next kDevice step re-uploads).
+  void set_pipeline(HostPipeline p);
+
  private:
   struct Scratch;  // per-block pencil + batched-tile work arrays
 
@@ -177,6 +202,7 @@ class FvSolver {
   void save_state();
   void post_step_all();
   void stage_serial(int stage, double dt);
+  void step_device(double dt);
   parallel::TaskGraph& step_graph(int nsteps);
 
   mesh::Grid grid_;
@@ -195,6 +221,10 @@ class FvSolver {
   double time_ = 0.0;
   double current_dt_ = 0.0;
   PhaseTimes phases_;
+
+  // Lazily constructed on the first kDevice step; owns the per-block
+  // device arenas (see device_exec.hpp).
+  std::unique_ptr<DeviceExec<Physics>> device_;
 
   // Cached dataflow graphs keyed by step count.
   std::unique_ptr<parallel::TaskGraph> graph_;

@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "rshc/common/error.hpp"
 #include "rshc/obs/obs.hpp"
@@ -30,7 +31,15 @@ int next_device_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// Host devices: no separate arena, everything executes inline.
+void count_h2d(std::size_t bytes) {
+  RSHC_OBS_COUNT("device.h2d.bytes", static_cast<std::int64_t>(bytes));
+}
+void count_d2h(std::size_t bytes) {
+  RSHC_OBS_COUNT("device.d2h.bytes", static_cast<std::int64_t>(bytes));
+}
+
+/// Host devices: no separate arena, everything executes inline; streams are
+/// trivially ordered because each op completes before the call returns.
 class HostDevice final : public Device {
  public:
   explicit HostDevice(Backend backend)
@@ -41,8 +50,12 @@ class HostDevice final : public Device {
 
   [[nodiscard]] Buffer alloc(std::size_t n) override { return Buffer(n, id_); }
 
-  Event upload_async(std::span<const double> host, Buffer& dst) override {
+  [[nodiscard]] StreamId create_stream() override { return ++last_stream_; }
+
+  Event upload_async(std::span<const double> host, Buffer& dst,
+                     StreamId) override {
     RSHC_REQUIRE(host.size() == dst.size(), "upload size mismatch");
+    count_h2d(host.size_bytes());
     std::memcpy(dst.device_view().data(), host.data(),
                 host.size() * sizeof(double));
     Event e;
@@ -50,8 +63,10 @@ class HostDevice final : public Device {
     return e;
   }
 
-  Event download_async(const Buffer& src, std::span<double> host) override {
+  Event download_async(const Buffer& src, std::span<double> host,
+                       StreamId) override {
     RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
+    count_d2h(host.size_bytes());
     std::memcpy(host.data(), src.device_view().data(),
                 host.size() * sizeof(double));
     Event e;
@@ -59,39 +74,38 @@ class HostDevice final : public Device {
     return e;
   }
 
-  Event launch(std::function<void()> kernel, std::size_t) override {
+  Event launch(std::function<void()> kernel, std::size_t, StreamId) override {
     kernel();
     Event e;
     e.set();
     return e;
   }
 
+  void wait_event(StreamId, Event event) override { event.wait(); }
+
   void synchronize() override {}
 
  private:
   Backend backend_;
   int id_;
+  StreamId last_stream_ = 0;
 };
 
-/// Simulated accelerator: one in-order stream worker, modeled transfer and
-/// launch costs. The "delay" is imposed by making the worker sleep for the
-/// modeled duration *in addition* to the actual memcpy/kernel time it spends
-/// — the memcpy stands in for DMA, the sleep for the link/launch overhead a
-/// real device would add.
+/// Simulated accelerator: one in-order worker thread per stream, modeled
+/// transfer and launch costs. The "delay" is imposed by making the worker
+/// sleep for the modeled duration *in addition* to the actual memcpy/kernel
+/// time it spends — the memcpy stands in for DMA, the sleep for the
+/// link/launch overhead a real device would add. Cross-stream ordering
+/// exists only through wait_event fences, exactly like CUDA streams.
 class AccelDevice final : public Device {
  public:
   explicit AccelDevice(AccelModel model)
-      : model_(model), id_(next_device_id()), worker_([this](const std::stop_token& st) {
-          worker_loop(st);
-        }) {}
+      : model_(model), id_(next_device_id()) {
+    streams_.push_back(std::make_unique<Stream>(id_));  // default stream 0
+  }
 
   ~AccelDevice() override {
-    {
-      std::scoped_lock lock(mutex_);
-      stopping_ = true;
-    }
-    worker_.request_stop();
-    cv_.notify_all();
+    for (auto& s : streams_) s->stop();
   }
 
   [[nodiscard]] Backend backend() const override {
@@ -101,53 +115,69 @@ class AccelDevice final : public Device {
 
   [[nodiscard]] Buffer alloc(std::size_t n) override { return Buffer(n, id_); }
 
-  Event upload_async(std::span<const double> host, Buffer& dst) override {
+  [[nodiscard]] StreamId create_stream() override {
+    std::scoped_lock lock(streams_mutex_);
+    streams_.push_back(std::make_unique<Stream>(id_));
+    return static_cast<StreamId>(streams_.size()) - 1;
+  }
+
+  Event upload_async(std::span<const double> host, Buffer& dst,
+                     StreamId stream) override {
     RSHC_REQUIRE(host.size() == dst.size(), "upload size mismatch");
+    count_h2d(host.size_bytes());
     const double cost = transfer_cost(host.size_bytes());
     auto d = dst.device_view();
-    return enqueue("accel.upload",
-                   [host, d, cost] {
-                     model_sleep(cost);
-                     std::memcpy(d.data(), host.data(), host.size_bytes());
-                   });
-  }
-
-  Event download_async(const Buffer& src, std::span<double> host) override {
-    RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
-    const double cost = transfer_cost(host.size_bytes());
-    auto s = src.device_view();
-    return enqueue("accel.download",
-                   [host, s, cost] {
-                     model_sleep(cost);
-                     std::memcpy(host.data(), s.data(), host.size_bytes());
-                   });
-  }
-
-  Event launch(std::function<void()> kernel, std::size_t work_items) override {
-    const double overhead = work_items > 0 ? model_.launch_overhead_sec : 0.0;
-    return enqueue("accel.kernel", [kernel = std::move(kernel), overhead] {
-      model_sleep(overhead);
-      kernel();
+    return enqueue(stream, "accel.upload", [host, d, cost] {
+      model_sleep(cost);
+      std::memcpy(d.data(), host.data(), host.size_bytes());
     });
   }
 
+  Event download_async(const Buffer& src, std::span<double> host,
+                       StreamId stream) override {
+    RSHC_REQUIRE(host.size() == src.size(), "download size mismatch");
+    count_d2h(host.size_bytes());
+    const double cost = transfer_cost(host.size_bytes());
+    auto s = src.device_view();
+    return enqueue(stream, "accel.download", [host, s, cost] {
+      model_sleep(cost);
+      std::memcpy(host.data(), s.data(), host.size_bytes());
+    });
+  }
+
+  Event launch(std::function<void()> kernel, std::size_t work_items,
+               StreamId stream) override {
+    const double overhead = work_items > 0 ? model_.launch_overhead_sec : 0.0;
+    return enqueue(stream, "accel.kernel",
+                   [kernel = std::move(kernel), overhead] {
+                     model_sleep(overhead);
+                     kernel();
+                   });
+  }
+
+  void wait_event(StreamId stream, Event event) override {
+    enqueue(stream, "accel.wait_event",
+            [event = std::move(event)] { event.wait(); });
+  }
+
   void synchronize() override {
-    Event fence = enqueue("accel.fence", [] {});
-    fence.wait();
+    // Fence every stream, then wait on all fences: streams drain in
+    // parallel, and each fence completes only after everything submitted
+    // to its stream beforehand.
+    std::vector<Stream*> all;
+    {
+      std::scoped_lock lock(streams_mutex_);
+      all.reserve(streams_.size());
+      for (auto& s : streams_) all.push_back(s.get());
+    }
+    std::vector<Event> fences;
+    fences.reserve(all.size());
+    for (Stream* s : all) fences.push_back(s->enqueue("accel.fence", [] {}));
+    for (const Event& f : fences) f.wait();
   }
 
  private:
-  [[nodiscard]] double transfer_cost(std::size_t bytes) const {
-    return model_.transfer_latency_sec +
-           static_cast<double>(bytes) / model_.transfer_bandwidth_bytes_per_sec;
-  }
-
-  static void model_sleep(double secs) {
-    if (secs <= 0.0) return;
-    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
-  }
-
-  // Stream op tagged with a static-duration name so the in-order worker
+  // Stream op tagged with a static-duration name so each in-order worker
   // thread shows each op as a span on its own trace track.
   struct StreamOp {
     const char* name = "";
@@ -155,42 +185,102 @@ class AccelDevice final : public Device {
     Event event;
   };
 
-  Event enqueue(const char* name, std::function<void()> op) {
-    Event e;
-    {
-      std::scoped_lock lock(mutex_);
-      RSHC_REQUIRE(!stopping_, "submit to destroyed accelerator");
-      queue_.push_back(StreamOp{name, std::move(op), e});
+  /// One in-order work queue with a dedicated worker thread.
+  struct Stream {
+    explicit Stream(int device_id)
+        : id(device_id), worker([this](const std::stop_token& st) {
+            worker_loop(st);
+          }) {}
+
+    void stop() {
+      {
+        std::scoped_lock lock(mutex);
+        stopping = true;
+      }
+      worker.request_stop();
+      cv.notify_all();
+      if (worker.joinable()) worker.join();
     }
-    cv_.notify_one();
-    return e;
+
+    Event enqueue(const char* name, std::function<void()> op) {
+      Event e;
+      {
+        std::scoped_lock lock(mutex);
+        RSHC_REQUIRE(!stopping, "submit to destroyed accelerator");
+        queue.push_back(StreamOp{name, std::move(op), e});
+      }
+      cv.notify_one();
+      return e;
+    }
+
+    void worker_loop(const std::stop_token& st) {
+      for (;;) {
+        StreamOp item;
+        {
+          std::unique_lock lock(mutex);
+          cv.wait(lock, st, [this] { return !queue.empty() || stopping; });
+          if (queue.empty()) return;
+          item = std::move(queue.front());
+          queue.pop_front();
+        }
+        {
+          RSHC_TRACE_SCOPE(item.name, "device", id);
+          item.fn();
+        }
+        item.event.set();
+      }
+    }
+
+    int id;
+    std::mutex mutex;
+    std::condition_variable_any cv;
+    std::deque<StreamOp> queue;
+    bool stopping = false;
+    std::jthread worker;
+  };
+
+  [[nodiscard]] double transfer_cost(std::size_t bytes) const {
+    return model_.transfer_latency_sec +
+           static_cast<double>(bytes) / model_.transfer_bandwidth_bytes_per_sec;
   }
 
-  void worker_loop(const std::stop_token& st) {
-    for (;;) {
-      StreamOp item;
-      {
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, st, [this] { return !queue_.empty() || stopping_; });
-        if (queue_.empty()) return;
-        item = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      {
-        RSHC_TRACE_SCOPE(item.name, "device", id_);
-        item.fn();
-      }
-      item.event.set();
+  /// Impose the modeled delay. A bare sleep_for overshoots microsecond
+  /// delays by a scheduler quantum (tens of us), which would swamp the
+  /// very latency/launch terms the model exists to represent and push the
+  /// F8 batch-size crossover far from where the modeled costs put it. So:
+  /// sleep for the bulk of long waits, then spin out the (sub-quantum)
+  /// tail on the steady clock — the worker is a dedicated stream thread,
+  /// and busy-polling the tail is what real drivers do too.
+  static void model_sleep(double secs) {
+    if (secs <= 0.0) return;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(secs);
+    constexpr auto kSpinTail = std::chrono::microseconds(200);
+    if (std::chrono::duration<double>(secs) > 2 * kSpinTail) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(secs) -
+                                  kSpinTail);
     }
+    while (std::chrono::steady_clock::now() < deadline) {
+      // sub-200us tail by construction
+    }
+  }
+
+  Event enqueue(StreamId stream, const char* name, std::function<void()> op) {
+    Stream* s = nullptr;
+    {
+      std::scoped_lock lock(streams_mutex_);
+      RSHC_REQUIRE(stream >= 0 &&
+                       stream < static_cast<StreamId>(streams_.size()),
+                   "unknown stream id");
+      s = streams_[static_cast<std::size_t>(stream)].get();
+    }
+    return s->enqueue(name, std::move(op));
   }
 
   AccelModel model_;
   int id_;
-  std::mutex mutex_;
-  std::condition_variable_any cv_;
-  std::deque<StreamOp> queue_;
-  bool stopping_ = false;
-  std::jthread worker_;
+  std::mutex streams_mutex_;  // guards the streams_ vector, not the queues
+  std::vector<std::unique_ptr<Stream>> streams_;
 };
 
 }  // namespace

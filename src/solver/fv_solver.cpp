@@ -5,6 +5,8 @@
 
 #include "rshc/check/check.hpp"
 #include "rshc/obs/obs.hpp"
+#include "rshc/solver/device_exec.hpp"
+#include "rshc/solver/rhs_core.hpp"
 
 namespace rshc::solver {
 
@@ -13,6 +15,7 @@ std::string_view host_pipeline_name(HostPipeline p) {
     case HostPipeline::kPencil: return "pencil";
     case HostPipeline::kBatchedScalar: return "batched-scalar";
     case HostPipeline::kBatchedSimd: return "batched-simd";
+    case HostPipeline::kDevice: return "device";
   }
   return "unknown";
 }
@@ -23,45 +26,31 @@ HostPipeline parse_host_pipeline(std::string_view name) {
   if (name == "batched-simd" || name == "batched") {
     return HostPipeline::kBatchedSimd;
   }
+  if (name == "device") return HostPipeline::kDevice;
   RSHC_REQUIRE(false,
                std::string("unknown host pipeline: ") + std::string(name));
   return HostPipeline::kPencil;  // unreachable
 }
 
-namespace {
-// Pencils reconstructed per batched tile. Bounds the transpose/flux staging
-// working set to kTileRows * max_extent per variable (a few hundred KiB —
-// cache-resident) independent of block size.
-constexpr int kTileRows = 32;
-}  // namespace
-
 // Per-block work arrays, sized once for the longest axis. The pencil path
-// uses the single-pencil q/ql/qr; the batched path reconstructs kTileRows
-// pencils per call and stages their interface fluxes before accumulation.
+// uses the single-pencil q/ql/qr; the batched path reconstructs
+// core::kTileRows pencils per call through the shared BatchScratch tiles
+// (rhs_core.hpp), which the device pipeline allocates per arena as well.
 template <typename Physics>
 struct FvSolver<Physics>::Scratch {
   // q/ql/qr: [var][pencil index]
   std::array<std::vector<double>, Physics::kNumPrim> q;
   std::array<std::vector<double>, Physics::kNumPrim> ql;
   std::array<std::vector<double>, Physics::kNumPrim> qr;
-  // Batched tiles: [var][row * max_extent + pencil index].
-  std::array<std::vector<double>, Physics::kNumPrim> tq;
-  std::array<std::vector<double>, Physics::kNumPrim> tql;
-  std::array<std::vector<double>, Physics::kNumPrim> tqr;
-  std::array<std::vector<double>, Physics::kNumCons> tfl;
+  core::BatchScratch<Physics> batch;
 
-  explicit Scratch(int max_extent) {
+  explicit Scratch(int max_extent) : batch(max_extent) {
     const auto plen = static_cast<std::size_t>(max_extent);
-    const std::size_t tlen = static_cast<std::size_t>(kTileRows) * plen;
     for (int v = 0; v < Physics::kNumPrim; ++v) {
       q[v].resize(plen);
       ql[v].resize(plen);
       qr[v].resize(plen);
-      tq[v].resize(tlen);
-      tql[v].resize(tlen);
-      tqr[v].resize(tlen);
     }
-    for (int v = 0; v < Physics::kNumCons; ++v) tfl[v].resize(tlen);
   }
 };
 
@@ -140,6 +129,7 @@ void FvSolver<Physics>::initialize(
     }
   }
   fill_all_ghosts();
+  if (device_) device_->invalidate();  // host mirror is authoritative again
   time_ = 0.0;
   stats_ = {};
 }
@@ -275,167 +265,19 @@ void FvSolver<Physics>::compute_rhs_pencil(int b) {
   }
 }
 
-// Batched rhs: identical arithmetic to compute_rhs_pencil, reorganized for
-// data movement. Per axis, pencils are processed in tiles of kTileRows
-// rows: the x axis reconstructs straight from the contiguous variable
-// slabs (zero gather); y/z tiles gather through a transpose whose inner
-// copies are unit-stride reads. The per-interface Riemann solve is the
-// same scalar code; flux components are staged per tile so du accumulation
-// runs as fused span loops preserving the pencil path's per-cell add order
-// (+left interface first, then -right) and expression shapes — the two
-// pipelines are bitwise identical.
+// Batched rhs: delegates to the shared core::rhs_batched instantiation —
+// the same compiled body the device pipeline launches as its rhs kernel.
+// See rhs_core.cpp for how the tile staging preserves the pencil path's
+// arithmetic (the two pipelines are bitwise identical).
 template <typename Physics>
 void FvSolver<Physics>::compute_rhs_batched(int b) {
   mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
   mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
-  Scratch& s = *scratch_[static_cast<std::size_t>(b)];
-  const bool simd = opt_.pipeline == HostPipeline::kBatchedSimd;
-  du.fill(0.0);
-
-  const auto& w = blk.prim();
-  for (int axis = 0; axis < grid_.ndim(); ++axis) {
-    const double inv_dx = 1.0 / grid_.dx(axis);
-    const double neg_inv_dx = -inv_dx;
-    const int n = blk.total(axis);
-    const auto un = static_cast<std::size_t>(n);
-    int a1 = -1;
-    int a2 = -1;
-    for (int a = 0; a < 3; ++a) {
-      if (a == axis) continue;
-      (a1 < 0 ? a1 : a2) = a;
-    }
-    const int fb = blk.begin(axis);
-    const int fe = blk.end(axis);
-
-    for (int t2 = blk.begin(a2); t2 < blk.end(a2); ++t2) {
-      for (int t10 = blk.begin(a1); t10 < blk.end(a1); t10 += kTileRows) {
-        const int rows = std::min(kTileRows, blk.end(a1) - t10);
-        const auto urows = static_cast<std::size_t>(rows);
-
-        // Gather + reconstruct one tile of pencils per variable, with the
-        // method dispatch already resolved to recon_fn_.
-        for (int v = 0; v < Physics::kNumPrim; ++v) {
-          if (axis == 0) {
-            const double* src = w.var(v).data() + w.cell_index(t2, t10, 0);
-            recon::reconstruct_rows(recon_fn_, urows, un, src, un,
-                                    s.tql[v].data(), s.tqr[v].data(), un);
-          } else {
-            const double* wv = w.var(v).data();
-            double* tq = s.tq[v].data();
-            for (int f = 0; f < n; ++f) {
-              const double* src = wv + (axis == 1 ? w.cell_index(t2, f, t10)
-                                                  : w.cell_index(f, t2, t10));
-              for (int t = 0; t < rows; ++t) {
-                tq[static_cast<std::size_t>(t) * un +
-                   static_cast<std::size_t>(f)] = src[t];
-              }
-            }
-            recon::reconstruct_rows(recon_fn_, urows, un, tq, un,
-                                    s.tql[v].data(), s.tqr[v].data(), un);
-          }
-        }
-
-        // Limiter + Riemann solve + flux for the tile's interfaces. The
-        // fast path hands whole face-state rows to the batched face
-        // kernels (riemann/kernels.hpp) — one call per pencil, everything
-        // inlined. The per-interface loop below stays as the fallback for
-        // the exact solver and for checks-enabled builds, where the
-        // checker wants zone provenance at the failing interface.
-        bool staged = false;
-#if !RSHC_CHECKS_ENABLED
-        {
-          const auto nif = static_cast<std::size_t>(fe - fb + 1);
-          const double* wlp[Physics::kNumPrim];
-          const double* wrp[Physics::kNumPrim];
-          double* flp[Physics::kNumCons];
-          staged = true;
-          for (int t = 0; t < rows && staged; ++t) {
-            const std::size_t off = static_cast<std::size_t>(t) * un +
-                                    static_cast<std::size_t>(fb) - 1;
-            for (int v = 0; v < Physics::kNumPrim; ++v) {
-              wlp[v] = s.tqr[v].data() + off;
-              wrp[v] = s.tql[v].data() + off + 1;
-            }
-            for (int v = 0; v < Physics::kNumCons; ++v) {
-              flp[v] = s.tfl[v].data() + off;
-            }
-            staged = Physics::interface_flux_n(simd, nif, axis, wlp, wrp,
-                                               flp, opt_.physics);
-          }
-        }
-#endif
-        if (!staged) {
-          double comp[Physics::kNumPrim];
-          double fc[Physics::kNumCons];
-          for (int t = 0; t < rows; ++t) {
-            const std::size_t row = static_cast<std::size_t>(t) * un;
-            for (int f = fb - 1; f < fe; ++f) {
-              const std::size_t uf = row + static_cast<std::size_t>(f);
-              for (int v = 0; v < Physics::kNumPrim; ++v) {
-                comp[v] = s.tqr[v][uf];
-              }
-              Prim wl = Physics::prim_from_components(comp);
-              for (int v = 0; v < Physics::kNumPrim; ++v) {
-                comp[v] = s.tql[v][uf + 1];
-              }
-              Prim wr = Physics::prim_from_components(comp);
-              Physics::limit_face_state(wl, opt_.physics);
-              Physics::limit_face_state(wr, opt_.physics);
-              const Cons flux =
-                  Physics::interface_flux(wl, wr, axis, opt_.physics);
-#if RSHC_CHECKS_ENABLED
-              {
-                int idx[3];
-                idx[axis] = f;
-                idx[a1] = t10 + t;
-                idx[a2] = t2;
-                RSHC_CHECK_PRIM("flux", wl, b, idx[0], idx[1], idx[2]);
-                RSHC_CHECK_PRIM("flux", wr, b, idx[0], idx[1], idx[2]);
-                RSHC_CHECK_CONS("flux", flux, b, idx[0], idx[1], idx[2]);
-              }
-#endif
-              Physics::cons_components(flux, fc);
-              for (int v = 0; v < Physics::kNumCons; ++v) {
-                s.tfl[v][uf] = fc[v];
-              }
-            }
-          }
-        }
-
-        // Accumulate flux differences. Each interior cell takes + its left
-        // interface flux then - its right one in a single pass.
-        if (axis == 0) {
-          for (int t = 0; t < rows; ++t) {
-            for (int v = 0; v < Physics::kNumCons; ++v) {
-              double* d = du.var(v).data() + du.cell_index(t2, t10 + t, 0);
-              const double* fl =
-                  s.tfl[v].data() + static_cast<std::size_t>(t) * un;
-              for (int f = fb; f < fe; ++f) {
-                d[f] = (d[f] + inv_dx * fl[f - 1]) + neg_inv_dx * fl[f];
-              }
-            }
-          }
-        } else {
-          // Strided axes flip the nesting: for a fixed pencil index f the
-          // du addresses across rows are unit-stride.
-          for (int v = 0; v < Physics::kNumCons; ++v) {
-            const double* fl = s.tfl[v].data();
-            for (int f = fb; f < fe; ++f) {
-              double* d = du.var(v).data() +
-                          (axis == 1 ? du.cell_index(t2, f, t10)
-                                     : du.cell_index(f, t2, t10));
-              const auto uf = static_cast<std::size_t>(f);
-              for (int t = 0; t < rows; ++t) {
-                const std::size_t row = static_cast<std::size_t>(t) * un;
-                d[t] = (d[t] + inv_dx * fl[row + uf - 1]) +
-                       neg_inv_dx * fl[row + uf];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  core::rhs_batched<Physics>(core::shape_of(blk, grid_), opt_.physics,
+                             recon_fn_,
+                             opt_.pipeline != HostPipeline::kBatchedScalar,
+                             blk.prim().flat().data(), du.flat().data(),
+                             scratch_[static_cast<std::size_t>(b)]->batch, b);
 }
 
 template <typename Physics>
@@ -501,63 +343,22 @@ void FvSolver<Physics>::update_block_pencil(int b, time::StageCoeffs coeffs,
   block_stats_[static_cast<std::size_t>(b)] += stats;
 }
 
-// Batched update: the RK convex combination runs as fused axpby-style span
-// loops over contiguous interior rows of each variable slab, and primitive
-// recovery goes through the batched cons_to_prim_n kernels. Expression
-// shape ((a*u0 + b*u) + (c*dt)*du, left-associated) and the per-zone
-// Newton solve match the pencil path exactly — bitwise identical.
+// Batched update: delegates to the shared core::update_batched
+// instantiation (rk_combine_n span loops + batched con2prim) — the same
+// compiled body the device pipeline launches as its update kernel.
+// Bitwise identical to the pencil path; see rhs_core.cpp.
 template <typename Physics>
 void FvSolver<Physics>::update_block_batched(int b, time::StageCoeffs coeffs,
                                              double dt) {
   mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
   const mesh::FieldArray& u0 = u0_[static_cast<std::size_t>(b)];
   const mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
-  auto& u = blk.cons();
-  auto& w = blk.prim();
-  const bool simd = opt_.pipeline == HostPipeline::kBatchedSimd;
-  const int ib = blk.begin(0);
-  const auto nx = static_cast<std::size_t>(blk.interior(0));
-  {
-    RSHC_OBS_PHASE("solver.phase.update", "solver", b);
-    const double ca = coeffs.a;
-    const double cb = coeffs.b;
-    const double cdt = coeffs.c * dt;
-    for (int v = 0; v < Physics::kNumCons; ++v) {
-      for (int k = blk.begin(2); k < blk.end(2); ++k) {
-        for (int j = blk.begin(1); j < blk.end(1); ++j) {
-          const std::size_t base = u.cell_index(k, j, ib);
-          rk_combine_n(simd, nx, ca, u0.var(v).data() + base, cb,
-                       u.var(v).data() + base, cdt, du.var(v).data() + base);
-        }
-      }
-    }
-  }
   C2PStats stats;
-  {
-    RSHC_OBS_PHASE("solver.phase.c2p", "solver", b);
-    const double* uptr[Physics::kNumCons];
-    double* wptr[Physics::kNumPrim];
-    for (int k = blk.begin(2); k < blk.end(2); ++k) {
-      for (int j = blk.begin(1); j < blk.end(1); ++j) {
-        const std::size_t base = u.cell_index(k, j, ib);
-        for (int v = 0; v < Physics::kNumCons; ++v) {
-          uptr[v] = u.var(v).data() + base;
-        }
-        for (int v = 0; v < Physics::kNumPrim; ++v) {
-          wptr[v] = w.var(v).data() + base;
-        }
-        Physics::cons_to_prim_n(simd, nx, uptr, wptr, opt_.physics, stats);
-#if RSHC_CHECKS_ENABLED
-        // Same invariant as the pencil path: nothing unphysical may leave
-        // c2p, even when the atmosphere fallback healed the zone.
-        for (int i = ib; i < blk.end(0); ++i) {
-          const Prim p = Physics::load_prim(w, k, j, i);
-          RSHC_CHECK_PRIM("c2p", p, b, i, j, k);
-        }
-#endif
-      }
-    }
-  }
+  core::update_batched<Physics>(
+      core::shape_of(blk, grid_), opt_.physics,
+      opt_.pipeline != HostPipeline::kBatchedScalar, coeffs.a, coeffs.b,
+      coeffs.c * dt, u0.flat().data(), du.flat().data(),
+      blk.cons().flat().data(), blk.prim().flat().data(), stats, b);
   block_stats_[static_cast<std::size_t>(b)] += stats;
 }
 
@@ -602,36 +403,30 @@ void FvSolver<Physics>::recover_all_prims() {
     }
   }
   fill_all_ghosts();
+  if (device_) device_->invalidate();  // restart rewrote the host mirror
 }
 
 template <typename Physics>
 double FvSolver<Physics>::compute_dt() const {
+  if (opt_.pipeline == HostPipeline::kDevice && device_ &&
+      device_->resident()) {
+    // CFL scan on the device-resident state: same compiled core body, one
+    // scalar download per block instead of a state round-trip.
+    return opt_.cfl * grid_.min_dx() / device_->max_wave_speed();
+  }
   double vmax = 1e-30;
   if (opt_.pipeline != HostPipeline::kPencil) {
-    // Slab-wise CFL scan: one batched max_speed_n call per interior row,
-    // reduced in the same row-major order as the per-zone loop (max is
-    // insensitive to the change anyway — identical dt bit for bit).
-    const bool simd = opt_.pipeline == HostPipeline::kBatchedSimd;
-    const double* wptr[Physics::kNumPrim];
+    // Slab-wise CFL scan through the shared core (the body the device
+    // pipeline launches as its dt kernel), reduced in the same row-major
+    // order as the per-zone loop (max is insensitive to the change anyway
+    // — identical dt bit for bit).
+    const bool simd = opt_.pipeline != HostPipeline::kBatchedScalar;
     std::vector<double> speed;
     for (const auto& blk : blocks_) {
-      const auto& w = blk.prim();
-      const int ib = blk.begin(0);
-      const auto nx = static_cast<std::size_t>(blk.interior(0));
-      speed.resize(nx);
-      for (int k = blk.begin(2); k < blk.end(2); ++k) {
-        for (int j = blk.begin(1); j < blk.end(1); ++j) {
-          const std::size_t base = w.cell_index(k, j, ib);
-          for (int v = 0; v < Physics::kNumPrim; ++v) {
-            wptr[v] = w.var(v).data() + base;
-          }
-          Physics::max_speed_n(simd, nx, wptr, speed.data(), opt_.physics,
-                               grid_.ndim());
-          for (std::size_t i = 0; i < nx; ++i) {
-            vmax = std::max(vmax, speed[i]);
-          }
-        }
-      }
+      vmax = std::max(
+          vmax, core::max_wave_speed_batched<Physics>(
+                    core::shape_of(blk, grid_), opt_.physics, simd,
+                    blk.prim().flat().data(), speed));
     }
     return opt_.cfl * grid_.min_dx() / vmax;
   }
@@ -664,10 +459,64 @@ void FvSolver<Physics>::stage_serial(int stage, double dt) {
   phases_.update += t.seconds();
 }
 
+// Device-offload step: establish residency (full upload, first step only),
+// then per RK stage let DeviceExec pull rims down, run the host ghost
+// logic, push ghosts back up, and chain the rhs/update kernels — all
+// enqueued, overlapping transfer with compute. One synchronize at the end
+// of the step publishes the c2p stats.
+template <typename Physics>
+void FvSolver<Physics>::step_device(double dt) {
+  current_dt_ = dt;
+  if (!device_) {
+    device_ = std::make_unique<DeviceExec<Physics>>(
+        grid_, blocks_, opt_.physics, recon_fn_, opt_.accel);
+  }
+  device_->ensure_resident();
+  device_->save_state();
+  for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
+    const auto coeffs = time::stage_coeffs(opt_.integrator, s);
+    device_->stage(coeffs.a, coeffs.b, coeffs.c * dt,
+                   [this](int b) { exchange_block(b); }, block_stats_);
+  }
+  device_->post_step(dt, grid_.min_dx());
+  device_->synchronize();
+  for (const auto& bs : block_stats_) stats_ += bs;
+  for (auto& bs : block_stats_) bs = {};
+  time_ += dt;
+}
+
+template <typename Physics>
+bool FvSolver<Physics>::device_resident() const {
+  return device_ && device_->resident();
+}
+
+template <typename Physics>
+void FvSolver<Physics>::sync_from_device() {
+  if (!device_resident()) return;
+  device_->synchronize();
+  device_->download_all();
+}
+
+template <typename Physics>
+void FvSolver<Physics>::set_pipeline(HostPipeline p) {
+  if (p == opt_.pipeline) return;
+  if (opt_.pipeline == HostPipeline::kDevice) {
+    // Hand authority back to the host mirror; the next kDevice step will
+    // re-upload (host steps in between mutate the mirror).
+    sync_from_device();
+    if (device_) device_->invalidate();
+  }
+  opt_.pipeline = p;
+}
+
 template <typename Physics>
 void FvSolver<Physics>::step(double dt) {
   RSHC_OBS_PHASE("solver.step", "solver", -1);
   RSHC_OBS_COUNT("solver.steps", 1);
+  if (opt_.pipeline == HostPipeline::kDevice) {
+    step_device(dt);
+    return;
+  }
   current_dt_ = dt;
   WallTimer t;
   save_state();
@@ -684,6 +533,9 @@ void FvSolver<Physics>::step(double dt) {
 template <typename Physics>
 void FvSolver<Physics>::step_parallel(double dt, parallel::ThreadPool& pool,
                                       bool dataflow) {
+  RSHC_REQUIRE(opt_.pipeline != HostPipeline::kDevice,
+               "host-parallel stepping does not drive the device pipeline; "
+               "use step() or set_pipeline() first");
   RSHC_OBS_PHASE("solver.step", "solver", -1);
   RSHC_OBS_COUNT("solver.steps", 1);
   if (dataflow) {
@@ -797,6 +649,9 @@ parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
 template <typename Physics>
 void FvSolver<Physics>::run_steps_dataflow(int nsteps, double dt,
                                            parallel::ThreadPool& pool) {
+  RSHC_REQUIRE(opt_.pipeline != HostPipeline::kDevice,
+               "host-parallel stepping does not drive the device pipeline; "
+               "use step() or set_pipeline() first");
   RSHC_TRACE_SCOPE("solver.run_steps_dataflow", "solver", nsteps);
   RSHC_OBS_COUNT("solver.steps", nsteps);
   current_dt_ = dt;

@@ -1,0 +1,329 @@
+#include "rshc/solver/rhs_core.hpp"
+
+#include <algorithm>
+
+#include "rshc/check/check.hpp"
+#include "rshc/obs/obs.hpp"
+
+namespace rshc::solver::core {
+
+BlockShape shape_of(const mesh::Block& blk, const mesh::Grid& grid) {
+  BlockShape sh;
+  sh.ndim = grid.ndim();
+  for (int a = 0; a < 3; ++a) {
+    sh.total[static_cast<std::size_t>(a)] = blk.total(a);
+    sh.begin[static_cast<std::size_t>(a)] = blk.begin(a);
+    sh.end[static_cast<std::size_t>(a)] = blk.end(a);
+  }
+  for (int a = 0; a < grid.ndim(); ++a) {
+    sh.inv_dx[static_cast<std::size_t>(a)] = 1.0 / grid.dx(a);
+  }
+  return sh;
+}
+
+// Batched rhs: identical arithmetic to FvSolver's pencil path, reorganized
+// for data movement. Per axis, pencils are processed in tiles of kTileRows
+// rows: the x axis reconstructs straight from the contiguous variable
+// slabs (zero gather); y/z tiles gather through a transpose whose inner
+// copies are unit-stride reads. The per-interface Riemann solve is the
+// same scalar code; flux components are staged per tile so du accumulation
+// runs as fused span loops preserving the pencil path's per-cell add order
+// (+left interface first, then -right) and expression shapes — the two
+// pipelines are bitwise identical. This single compiled instantiation also
+// serves as the device kernel body, so the device pipeline inherits the
+// same bits by construction.
+template <typename Physics>
+void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
+                 recon::PencilKernel recon_fn, bool simd, const double* w,
+                 double* du, BatchScratch<Physics>& s,
+                 [[maybe_unused]] int block_id) {
+  using Prim = typename Physics::Prim;
+  using Cons = typename Physics::Cons;
+  const std::size_t cells = sh.cells();
+  std::fill(du, du + static_cast<std::size_t>(Physics::kNumCons) * cells, 0.0);
+
+  auto wvar = [&](int v) {
+    return w + static_cast<std::size_t>(v) * cells;
+  };
+  auto dvar = [&](int v) {
+    return du + static_cast<std::size_t>(v) * cells;
+  };
+
+  for (int axis = 0; axis < sh.ndim; ++axis) {
+    const double inv_dx = sh.inv_dx[static_cast<std::size_t>(axis)];
+    const double neg_inv_dx = -inv_dx;
+    const int n = sh.total[static_cast<std::size_t>(axis)];
+    const auto un = static_cast<std::size_t>(n);
+    int a1 = -1;
+    int a2 = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (a == axis) continue;
+      (a1 < 0 ? a1 : a2) = a;
+    }
+    const int fb = sh.begin[static_cast<std::size_t>(axis)];
+    const int fe = sh.end[static_cast<std::size_t>(axis)];
+    const int b1 = sh.begin[static_cast<std::size_t>(a1)];
+    const int e1 = sh.end[static_cast<std::size_t>(a1)];
+    const int b2 = sh.begin[static_cast<std::size_t>(a2)];
+    const int e2 = sh.end[static_cast<std::size_t>(a2)];
+
+    for (int t2 = b2; t2 < e2; ++t2) {
+      for (int t10 = b1; t10 < e1; t10 += kTileRows) {
+        const int rows = std::min(kTileRows, e1 - t10);
+        const auto urows = static_cast<std::size_t>(rows);
+
+        // Gather + reconstruct one tile of pencils per variable, with the
+        // method dispatch already resolved to recon_fn.
+        for (int v = 0; v < Physics::kNumPrim; ++v) {
+          if (axis == 0) {
+            const double* src = wvar(v) + sh.cell_index(t2, t10, 0);
+            recon::reconstruct_rows(recon_fn, urows, un, src, un,
+                                    s.tql[v].data(), s.tqr[v].data(), un);
+          } else {
+            const double* wv = wvar(v);
+            double* tq = s.tq[v].data();
+            for (int f = 0; f < n; ++f) {
+              const double* src = wv + (axis == 1 ? sh.cell_index(t2, f, t10)
+                                                  : sh.cell_index(f, t2, t10));
+              for (int t = 0; t < rows; ++t) {
+                tq[static_cast<std::size_t>(t) * un +
+                   static_cast<std::size_t>(f)] = src[t];
+              }
+            }
+            recon::reconstruct_rows(recon_fn, urows, un, tq, un,
+                                    s.tql[v].data(), s.tqr[v].data(), un);
+          }
+        }
+
+        // Limiter + Riemann solve + flux for the tile's interfaces. The
+        // fast path hands whole face-state rows to the batched face
+        // kernels (riemann/kernels.hpp) — one call per pencil, everything
+        // inlined. The per-interface loop below stays as the fallback for
+        // the exact solver and for checks-enabled builds, where the
+        // checker wants zone provenance at the failing interface.
+        bool staged = false;
+#if !RSHC_CHECKS_ENABLED
+        {
+          const auto nif = static_cast<std::size_t>(fe - fb + 1);
+          const double* wlp[Physics::kNumPrim];
+          const double* wrp[Physics::kNumPrim];
+          double* flp[Physics::kNumCons];
+          staged = true;
+          for (int t = 0; t < rows && staged; ++t) {
+            const std::size_t off = static_cast<std::size_t>(t) * un +
+                                    static_cast<std::size_t>(fb) - 1;
+            for (int v = 0; v < Physics::kNumPrim; ++v) {
+              wlp[v] = s.tqr[v].data() + off;
+              wrp[v] = s.tql[v].data() + off + 1;
+            }
+            for (int v = 0; v < Physics::kNumCons; ++v) {
+              flp[v] = s.tfl[v].data() + off;
+            }
+            staged =
+                Physics::interface_flux_n(simd, nif, axis, wlp, wrp, flp, ctx);
+          }
+        }
+#endif
+        if (!staged) {
+          double comp[Physics::kNumPrim];
+          double fc[Physics::kNumCons];
+          for (int t = 0; t < rows; ++t) {
+            const std::size_t row = static_cast<std::size_t>(t) * un;
+            for (int f = fb - 1; f < fe; ++f) {
+              const std::size_t uf = row + static_cast<std::size_t>(f);
+              for (int v = 0; v < Physics::kNumPrim; ++v) {
+                comp[v] = s.tqr[v][uf];
+              }
+              Prim wl = Physics::prim_from_components(comp);
+              for (int v = 0; v < Physics::kNumPrim; ++v) {
+                comp[v] = s.tql[v][uf + 1];
+              }
+              Prim wr = Physics::prim_from_components(comp);
+              Physics::limit_face_state(wl, ctx);
+              Physics::limit_face_state(wr, ctx);
+              const Cons flux = Physics::interface_flux(wl, wr, axis, ctx);
+#if RSHC_CHECKS_ENABLED
+              {
+                int idx[3];
+                idx[axis] = f;
+                idx[a1] = t10 + t;
+                idx[a2] = t2;
+                RSHC_CHECK_PRIM("flux", wl, block_id, idx[0], idx[1], idx[2]);
+                RSHC_CHECK_PRIM("flux", wr, block_id, idx[0], idx[1], idx[2]);
+                RSHC_CHECK_CONS("flux", flux, block_id, idx[0], idx[1],
+                                idx[2]);
+              }
+#endif
+              Physics::cons_components(flux, fc);
+              for (int v = 0; v < Physics::kNumCons; ++v) {
+                s.tfl[v][uf] = fc[v];
+              }
+            }
+          }
+        }
+
+        // Accumulate flux differences. Each interior cell takes + its left
+        // interface flux then - its right one in a single pass.
+        if (axis == 0) {
+          for (int t = 0; t < rows; ++t) {
+            for (int v = 0; v < Physics::kNumCons; ++v) {
+              double* d = dvar(v) + sh.cell_index(t2, t10 + t, 0);
+              const double* fl =
+                  s.tfl[v].data() + static_cast<std::size_t>(t) * un;
+              for (int f = fb; f < fe; ++f) {
+                d[f] = (d[f] + inv_dx * fl[f - 1]) + neg_inv_dx * fl[f];
+              }
+            }
+          }
+        } else {
+          // Strided axes flip the nesting: for a fixed pencil index f the
+          // du addresses across rows are unit-stride.
+          for (int v = 0; v < Physics::kNumCons; ++v) {
+            const double* fl = s.tfl[v].data();
+            for (int f = fb; f < fe; ++f) {
+              double* d = dvar(v) + (axis == 1 ? sh.cell_index(t2, f, t10)
+                                               : sh.cell_index(f, t2, t10));
+              const auto uf = static_cast<std::size_t>(f);
+              for (int t = 0; t < rows; ++t) {
+                const std::size_t row = static_cast<std::size_t>(t) * un;
+                d[t] = (d[t] + inv_dx * fl[row + uf - 1]) +
+                       neg_inv_dx * fl[row + uf];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Batched update: the RK convex combination runs as fused axpby-style span
+// loops over contiguous interior rows of each variable slab, and primitive
+// recovery goes through the batched cons_to_prim_n kernels. Expression
+// shape ((a*u0 + b*u) + (c*dt)*du, left-associated) and the per-zone
+// Newton solve match the pencil path exactly — bitwise identical.
+template <typename Physics>
+void update_batched(const BlockShape& sh, const typename Physics::Context& ctx,
+                    bool simd, double ca, double cb, double cdt,
+                    const double* u0, const double* du, double* u, double* w,
+                    C2PStats& stats, [[maybe_unused]] int block_id) {
+  const std::size_t cells = sh.cells();
+  const int ib = sh.begin[0];
+  const auto nx = static_cast<std::size_t>(sh.end[0] - sh.begin[0]);
+  {
+    RSHC_OBS_PHASE("solver.phase.update", "solver", block_id);
+    for (int v = 0; v < Physics::kNumCons; ++v) {
+      const std::size_t voff = static_cast<std::size_t>(v) * cells;
+      for (int k = sh.begin[2]; k < sh.end[2]; ++k) {
+        for (int j = sh.begin[1]; j < sh.end[1]; ++j) {
+          const std::size_t base = sh.cell_index(k, j, ib);
+          rk_combine_n(simd, nx, ca, u0 + voff + base, cb, u + voff + base,
+                       cdt, du + voff + base);
+        }
+      }
+    }
+  }
+  {
+    RSHC_OBS_PHASE("solver.phase.c2p", "solver", block_id);
+    const double* uptr[Physics::kNumCons];
+    double* wptr[Physics::kNumPrim];
+    for (int k = sh.begin[2]; k < sh.end[2]; ++k) {
+      for (int j = sh.begin[1]; j < sh.end[1]; ++j) {
+        const std::size_t base = sh.cell_index(k, j, ib);
+        for (int v = 0; v < Physics::kNumCons; ++v) {
+          uptr[v] = u + static_cast<std::size_t>(v) * cells + base;
+        }
+        for (int v = 0; v < Physics::kNumPrim; ++v) {
+          wptr[v] = w + static_cast<std::size_t>(v) * cells + base;
+        }
+        Physics::cons_to_prim_n(simd, nx, uptr, wptr, ctx, stats);
+#if RSHC_CHECKS_ENABLED
+        // Same invariant as the pencil path: nothing unphysical may leave
+        // c2p, even when the atmosphere fallback healed the zone.
+        for (std::size_t i = 0; i < nx; ++i) {
+          double comp[Physics::kNumPrim];
+          for (int v = 0; v < Physics::kNumPrim; ++v) comp[v] = wptr[v][i];
+          const auto p = Physics::prim_from_components(comp);
+          RSHC_CHECK_PRIM("c2p", p, block_id, ib + static_cast<int>(i), j, k);
+        }
+#endif
+      }
+    }
+  }
+}
+
+template <typename Physics>
+double max_wave_speed_batched(const BlockShape& sh,
+                              const typename Physics::Context& ctx, bool simd,
+                              const double* w, std::vector<double>& speed) {
+  double vmax = 1e-30;
+  const std::size_t cells = sh.cells();
+  const int ib = sh.begin[0];
+  const auto nx = static_cast<std::size_t>(sh.end[0] - sh.begin[0]);
+  const double* wptr[Physics::kNumPrim];
+  speed.resize(nx);
+  for (int k = sh.begin[2]; k < sh.end[2]; ++k) {
+    for (int j = sh.begin[1]; j < sh.end[1]; ++j) {
+      const std::size_t base = sh.cell_index(k, j, ib);
+      for (int v = 0; v < Physics::kNumPrim; ++v) {
+        wptr[v] = w + static_cast<std::size_t>(v) * cells + base;
+      }
+      Physics::max_speed_n(simd, nx, wptr, speed.data(), ctx, sh.ndim);
+      for (std::size_t i = 0; i < nx; ++i) {
+        vmax = std::max(vmax, speed[i]);
+      }
+    }
+  }
+  return vmax;
+}
+
+template <typename Physics>
+void post_step_slabs(const BlockShape&, const typename Physics::Context&,
+                     double*, double*, double, double) {}
+
+// GLM psi damping over the whole ghosted psi slabs — same `psi *= factor`
+// arithmetic as SrmhdPhysics::post_step on FieldArrays.
+template <>
+void post_step_slabs<SrmhdPhysics>(const BlockShape& sh,
+                                   const SrmhdPhysics::Context& ctx, double* u,
+                                   double* w, double dt, double dx_min) {
+  const double factor = srmhd::glm_damping_factor(ctx.glm, dt, dx_min);
+  if (factor >= 1.0) return;
+  const std::size_t cells = sh.cells();
+  double* up = u + static_cast<std::size_t>(srmhd::kPsi) * cells;
+  double* wp = w + static_cast<std::size_t>(srmhd::kPsi) * cells;
+  for (std::size_t n = 0; n < cells; ++n) up[n] *= factor;
+  for (std::size_t n = 0; n < cells; ++n) wp[n] *= factor;
+}
+
+template void rhs_batched<SrhdPhysics>(const BlockShape&,
+                                       const SrhdPhysics::Context&,
+                                       recon::PencilKernel, bool,
+                                       const double*, double*,
+                                       BatchScratch<SrhdPhysics>&, int);
+template void rhs_batched<SrmhdPhysics>(const BlockShape&,
+                                        const SrmhdPhysics::Context&,
+                                        recon::PencilKernel, bool,
+                                        const double*, double*,
+                                        BatchScratch<SrmhdPhysics>&, int);
+template void update_batched<SrhdPhysics>(const BlockShape&,
+                                          const SrhdPhysics::Context&, bool,
+                                          double, double, double,
+                                          const double*, const double*,
+                                          double*, double*, C2PStats&, int);
+template void update_batched<SrmhdPhysics>(const BlockShape&,
+                                           const SrmhdPhysics::Context&, bool,
+                                           double, double, double,
+                                           const double*, const double*,
+                                           double*, double*, C2PStats&, int);
+template double max_wave_speed_batched<SrhdPhysics>(
+    const BlockShape&, const SrhdPhysics::Context&, bool, const double*,
+    std::vector<double>&);
+template double max_wave_speed_batched<SrmhdPhysics>(
+    const BlockShape&, const SrmhdPhysics::Context&, bool, const double*,
+    std::vector<double>&);
+template void post_step_slabs<SrhdPhysics>(const BlockShape&,
+                                           const SrhdPhysics::Context&,
+                                           double*, double*, double, double);
+
+}  // namespace rshc::solver::core

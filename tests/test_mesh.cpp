@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <span>
+#include <vector>
+
 #include "rshc/mesh/block.hpp"
 #include "rshc/mesh/boundary.hpp"
 #include "rshc/mesh/decomposition.hpp"
@@ -56,6 +60,64 @@ TEST(FieldArray, FillSetsEverything) {
   FieldArray f(2, 1, 3, 3);
   f.fill(2.5);
   for (const double v : f.flat()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(FieldArray, PackUnpackBoxRoundTripsEveryCell) {
+  FieldArray f(2, 4, 5, 6);
+  for (int v = 0; v < 2; ++v) {
+    for (int k = 0; k < 4; ++k) {
+      for (int j = 0; j < 5; ++j) {
+        for (int i = 0; i < 6; ++i) {
+          f(v, k, j, i) = 1000.0 * v + 100.0 * k + 10.0 * j + i;
+        }
+      }
+    }
+  }
+  // Interior sub-box: pack, clear the box, unpack, and require the exact
+  // values back while cells outside the box stay untouched.
+  const BoxSpec box{1, 2, 3, 2, 2, 2};
+  std::vector<double> staged(2 * box.cells(), -1.0);
+  f.pack_box(box, staged);
+  // v-major, then (k, j, i): first element is (v=0, k=1, j=2, i=3).
+  EXPECT_DOUBLE_EQ(staged[0], 100.0 + 20.0 + 3.0);
+  EXPECT_DOUBLE_EQ(staged[1], 100.0 + 20.0 + 4.0);        // +i
+  EXPECT_DOUBLE_EQ(staged[2], 100.0 + 30.0 + 3.0);        // +j
+  EXPECT_DOUBLE_EQ(staged[4], 200.0 + 20.0 + 3.0);        // +k
+  EXPECT_DOUBLE_EQ(staged[box.cells()], 1123.0);          // +v
+  FieldArray g = f;
+  for (int v = 0; v < 2; ++v) {
+    for (int k = 1; k < 3; ++k) {
+      for (int j = 2; j < 4; ++j) {
+        for (int i = 3; i < 5; ++i) g(v, k, j, i) = -7.0;
+      }
+    }
+  }
+  g.unpack_box(box, staged);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    EXPECT_DOUBLE_EQ(g.flat()[n], f.flat()[n]) << "cell " << n;
+  }
+}
+
+TEST(FieldArray, FullArrayBoxEqualsFlat) {
+  FieldArray f(3, 2, 3, 4);
+  std::iota(f.flat().begin(), f.flat().end(), 0.0);
+  const BoxSpec all{0, 0, 0, f.nk(), f.nj(), f.ni()};
+  std::vector<double> staged(f.size());
+  f.pack_box(all, staged);
+  for (std::size_t n = 0; n < f.size(); ++n) {
+    EXPECT_DOUBLE_EQ(staged[n], f.flat()[n]);
+  }
+}
+
+TEST(FieldArray, BoxBoundsAndSizeAreChecked) {
+  FieldArray f(1, 2, 2, 2);
+  std::vector<double> staged(8);
+  EXPECT_THROW(f.pack_box(BoxSpec{0, 0, 1, 2, 2, 2}, staged), rshc::Error);
+  EXPECT_THROW(f.pack_box(BoxSpec{0, 0, 0, 2, 2, 2}, std::span(staged).first(4)),
+               rshc::Error);
+  EXPECT_THROW(f.unpack_box(BoxSpec{-1, 0, 0, 1, 1, 1},
+                            std::span<const double>(staged).first(1)),
+               rshc::Error);
 }
 
 TEST(Block, GhostGeometry1d) {

@@ -19,6 +19,11 @@ compare [BASELINE] CURRENT [--threshold F] [--min-sum S]
     below a 2x algorithmic regression) is a *performance* regression.
     Phases whose baseline total is below --min-sum seconds (default 1e-4)
     are reported but never gate: their timings are noise-dominated.
+    The F8 crossover counters (perf.f8.crossover_batch.*) are diffed as
+    first-class rows alongside the phases: the crossover batch sliding up
+    by more than one sweep step (x4), or leaving the swept range entirely
+    (value 0), is a performance regression; a counter that disappears is
+    structural.
 show REPORT
     Human-readable table of the phases and counters.
 selftest REPORT
@@ -130,6 +135,68 @@ def phase_map(rep: dict) -> dict[str, dict]:
             if isinstance(ph, dict) and "name" in ph}
 
 
+def counter_map(rep: dict) -> dict[str, float]:
+    return {c["name"]: c["value"] for c in rep.get("counters", [])
+            if isinstance(c, dict) and "name" in c and "value" in c}
+
+
+# F8 accelerator crossover counters (bench/perf_suite.cpp
+# run_f8_crossover): the smallest swept con2prim batch at which each
+# offload mode reaches the host-parity band. Values are quantized to the
+# sweep's geometric x4 steps, so a one-step move is timing jitter on a
+# shared runner; more than one step — or the crossover leaving the swept
+# range entirely (value 0) — is a real shift in where offload pays off.
+_CROSSOVER_COUNTERS = ("perf.f8.crossover_batch.staged",
+                       "perf.f8.crossover_batch.resident")
+_CROSSOVER_STEP = 4.0
+
+
+def compare_crossovers(base: dict, cur: dict) -> tuple[list[str], list[str]]:
+    """First-class rows for the F8 crossover counters.
+
+    Prints one row per counter present in either report and returns
+    (perf_regressions, structural_problems) as message lists.
+    """
+    base_ctr, cur_ctr = counter_map(base), counter_map(cur)
+    perf: list[str] = []
+    structural: list[str] = []
+    for name in _CROSSOVER_COUNTERS:
+        b, c = base_ctr.get(name), cur_ctr.get(name)
+        if b is None and c is None:
+            continue
+        if b is None:
+            print(f"perf_report: note: new counter '{name}' = {c:.0f} "
+                  f"(not in baseline)")
+            continue
+        if c is None:
+            structural.append(f"counter '{name}' present in baseline but "
+                              f"missing from current report")
+            continue
+        if b == 0 and c == 0:
+            print(f"  [ ] {name}: crossover batch outside swept range in "
+                  f"both reports")
+            continue
+        if b == 0:
+            print(f"  [ ] {name}: crossover batch entered the swept range "
+                  f"at {c:.0f}")
+            continue
+        if c == 0:
+            print(f"  [!] {name}: crossover batch {b:.0f} -> outside the "
+                  f"swept range")
+            perf.append(f"{name} crossover left the swept batch range "
+                        f"(was {b:.0f})")
+            continue
+        ratio = c / b
+        bad = ratio > _CROSSOVER_STEP + _EPS
+        print(f"  [{'!' if bad else ' '}] {name}: crossover batch "
+              f"{b:.0f} -> {c:.0f} ({ratio:.2g}x)")
+        if bad:
+            perf.append(f"{name} crossover batch is {ratio:.2g}x the "
+                        f"baseline (more than one x{_CROSSOVER_STEP:.0f} "
+                        f"sweep step)")
+    return perf, structural
+
+
 def mean_per_sample(ph: dict) -> float:
     return ph["sum_s"] / ph["count"] if ph["count"] else 0.0
 
@@ -183,13 +250,19 @@ def compare_reports(base: dict, cur: dict, threshold: float,
         print(f"  [{marker}] {name}: mean/sample {b_mean:.3e}s -> "
               f"{c_mean:.3e}s ({ratio - 1.0:+.1%} vs baseline)")
         if ratio > 1.0 + threshold and gating:
-            regressions.append((name, ratio))
+            regressions.append(f"{name} is {ratio:.2f}x the baseline mean "
+                               f"(threshold {1.0 + threshold:.2f}x)")
+
+    crossover_perf, crossover_structural = compare_crossovers(base, cur)
+    if crossover_structural:
+        for msg in crossover_structural:
+            print(f"perf_report: STRUCTURAL: {msg}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+    regressions.extend(crossover_perf)
 
     if regressions:
-        for name, ratio in regressions:
-            print(f"perf_report: REGRESSION: {name} is {ratio:.2f}x the "
-                  f"baseline mean (threshold {1.0 + threshold:.2f}x)",
-                  file=sys.stderr)
+        for msg in regressions:
+            print(f"perf_report: REGRESSION: {msg}", file=sys.stderr)
         return EXIT_PERF
     print("perf_report: compare OK "
           f"(threshold {threshold:.0%}, {len(base_phases)} phases)")
@@ -269,6 +342,41 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         print(f"perf_report: selftest: dropping phase '{gone['name']}' "
               f"returned {rc}, expected {EXIT_STRUCTURAL}", file=sys.stderr)
         return EXIT_STRUCTURAL
+
+    # F8 crossover gates, exercised on the first crossover counter the
+    # report actually measured inside the sweep (skipped, with a note, on
+    # reports predating the counters or where nothing crossed).
+    ctr = counter_map(rep)
+    victim_ctr = next((name for name in _CROSSOVER_COUNTERS
+                       if ctr.get(name, 0) > 0), None)
+    if victim_ctr is None:
+        print("perf_report: selftest: no in-sweep F8 crossover counter; "
+              "skipping crossover gate checks")
+    else:
+        def with_crossover(value: float) -> dict:
+            mutated = copy.deepcopy(rep)
+            for c in mutated["counters"]:
+                if c["name"] == victim_ctr:
+                    c["value"] = value
+            return mutated
+
+        # Two sweep steps (x16) up must trip the perf gate; so must the
+        # crossover leaving the swept range (0); dropping the counter
+        # entirely is structural.
+        cases = ((with_crossover(ctr[victim_ctr] * 16.0), EXIT_PERF,
+                  "x16 crossover slip"),
+                 (with_crossover(0.0), EXIT_PERF,
+                  "crossover leaving the swept range"),
+                 ({**copy.deepcopy(rep),
+                   "counters": [c for c in copy.deepcopy(rep)["counters"]
+                                if c["name"] != victim_ctr]},
+                  EXIT_STRUCTURAL, "dropped crossover counter"))
+        for mutated, expected, what in cases:
+            rc = compare_reports(rep, mutated, 0.30, 1e-4)
+            if rc != expected:
+                print(f"perf_report: selftest: {what} on '{victim_ctr}' "
+                      f"returned {rc}, expected {expected}", file=sys.stderr)
+                return EXIT_STRUCTURAL
 
     print(f"perf_report: selftest OK ({args.report})")
     return EXIT_OK
