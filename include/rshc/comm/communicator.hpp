@@ -19,11 +19,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "rshc/common/error.hpp"
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::comm {
 
@@ -132,9 +132,9 @@ class World {
   };
 
   struct Mailbox {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable cv;
-    std::deque<Message> messages;
+    std::deque<Message> messages RSHC_GUARDED_BY(mutex);
   };
 
   void deliver(int dest, Message msg);
@@ -142,15 +142,17 @@ class World {
 
   int size_;
   TransferModel model_;
+  // Set up in the constructor, immutable afterwards (per-element state is
+  // behind each Mailbox's own mutex).
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Collective state (monitor-style, generation-counted for reuse).
-  std::mutex coll_mutex_;
+  Mutex coll_mutex_;
   std::condition_variable coll_cv_;
-  long long coll_generation_ = 0;
-  int coll_count_ = 0;
-  std::vector<double> coll_buffer_;
-  std::vector<double> coll_result_;
+  long long coll_generation_ RSHC_GUARDED_BY(coll_mutex_) = 0;
+  int coll_count_ RSHC_GUARDED_BY(coll_mutex_) = 0;
+  std::vector<double> coll_buffer_ RSHC_GUARDED_BY(coll_mutex_);
+  std::vector<double> coll_result_ RSHC_GUARDED_BY(coll_mutex_);
 
   // relaxed: traffic statistics only; read after join/barrier, no
   // synchronization is derived from them.

@@ -1,0 +1,82 @@
+#pragma once
+// Annotated mutex wrappers — the only locking primitives library code may
+// use. `rshc::Mutex` is a `std::mutex` carrying the Clang capability
+// attribute; `rshc::LockGuard` is the RAII lock (scoped capability) whose
+// `native_lock()` plugs into std::condition_variable waits. Using these
+// instead of the bare std types is what lets `-Wthread-safety` (see
+// thread_annotations.hpp and the CI `static-analysis` lane) prove every
+// RSHC_GUARDED_BY field is only touched under its lock.
+//
+// Lock/unlock are noexcept by policy: std::mutex::lock can only throw
+// system_error on resource exhaustion or operator error (EDEADLK /
+// EAGAIN), and no caller in this codebase can recover from either —
+// terminating is strictly better than unwinding through a solver step
+// with a lock in an unknown state.
+
+#include <mutex>
+
+#include "rshc/common/thread_annotations.hpp"
+
+namespace rshc {
+
+/// std::mutex with the Clang `capability` attribute. Non-recursive; the
+/// RSHC_EXCLUDES annotations on public locking methods exist precisely
+/// because re-locking would deadlock.
+class RSHC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // NOLINTNEXTLINE(bugprone-exception-escape): system_error from
+  // std::mutex::lock is unrecoverable here; noexcept-terminate is the
+  // documented policy (header comment).
+  void lock() noexcept RSHC_ACQUIRE() { m_.lock(); }
+  void unlock() noexcept RSHC_RELEASE() { m_.unlock(); }
+  // NOLINTNEXTLINE(bugprone-exception-escape): same policy as lock().
+  [[nodiscard]] bool try_lock() noexcept RSHC_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// Runtime no-op telling the analysis this mutex is held. For
+  /// condition-variable predicate lambdas, which run under the lock but
+  /// are separate functions as far as the analysis is concerned.
+  void assert_held() const noexcept RSHC_ASSERT_CAPABILITY() {}
+
+  /// The wrapped std::mutex, for LockGuard and condition-variable plumbing
+  /// only. The lock_returned annotation maps locks taken through the
+  /// native handle back to this capability.
+  [[nodiscard]] std::mutex& native() noexcept RSHC_RETURN_CAPABILITY(this) {
+    return m_;
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII exclusive lock over rshc::Mutex (scoped capability). Owns a
+/// std::unique_lock underneath so std::condition_variable[_any] waits can
+/// run against native_lock(); from the analysis's point of view the
+/// capability stays held across a wait, which is exactly the contract the
+/// predicate re-check needs.
+class RSHC_SCOPED_CAPABILITY LockGuard {
+ public:
+  // NOLINTNEXTLINE(bugprone-exception-escape): locking follows the same
+  // noexcept-terminate policy as Mutex::lock.
+  explicit LockGuard(Mutex& m) noexcept RSHC_ACQUIRE(m) : lock_(m.native()) {}
+  ~LockGuard() noexcept RSHC_RELEASE() {}  // unique_lock member unlocks
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  /// The underlying std::unique_lock, for condition-variable waits:
+  /// `cv.wait(lock.native_lock(), [&]{ mutex.assert_held(); ... })`.
+  [[nodiscard]] std::unique_lock<std::mutex>& native_lock() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace rshc

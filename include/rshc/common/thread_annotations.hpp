@@ -1,0 +1,94 @@
+#pragma once
+// Clang thread-safety-analysis annotations (the `-Wthread-safety`
+// capability model) behind RSHC_* macros that compile to nothing on every
+// other compiler. The annotations turn the repo's locking conventions —
+// which fields a mutex guards, which locks a method needs, which locks it
+// must NOT already hold — into compile-time contracts: the CI
+// `static-analysis` lane builds the library with
+// `-Wthread-safety -Werror=thread-safety` under Clang, so a new access to
+// a guarded field without its lock is a build break, not a TSan roll of
+// the dice.
+//
+// Conventions (see DESIGN.md "Concurrency contracts & static analysis"):
+//  - every mutex is an `rshc::Mutex` (common/mutex.hpp), never a bare
+//    `std::mutex`, so lock/unlock sites carry acquire/release semantics
+//    the analysis can see;
+//  - every field shared across threads is RSHC_GUARDED_BY its mutex;
+//  - public methods that take a lock internally are RSHC_EXCLUDES(lock)
+//    (calling them with the lock held would self-deadlock);
+//  - helpers that assume a lock is already held are RSHC_REQUIRES(lock);
+//  - condition-variable predicate lambdas run with the lock held but the
+//    analysis cannot see across the std::condition_variable boundary:
+//    open them with `lock.assert_held()` (a no-op that re-asserts the
+//    invariant to the analysis).
+//
+// The macro set mirrors the canonical mutex.h example from the Clang
+// documentation; only the spellings used by this repo are defined.
+
+// GCC and MSVC do not implement the capability attributes and would warn
+// (`-Wattributes`) on every use, so the macros vanish entirely off-Clang.
+// tests/test_thread_annotations.cpp compiles a probe TU against both
+// expansions, so a broken no-op path fails the tier-1 build fast.
+#if defined(__clang__) && !defined(SWIG)
+#define RSHC_THREAD_ANNOTATION(x) __attribute__((x))
+#define RSHC_THREAD_ANNOTATIONS_ACTIVE 1
+#else
+#define RSHC_THREAD_ANNOTATION(x)  // no-op off-Clang
+#define RSHC_THREAD_ANNOTATIONS_ACTIVE 0
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string names
+/// the capability kind in diagnostics ("mutex").
+#define RSHC_CAPABILITY(x) RSHC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define RSHC_SCOPED_CAPABILITY RSHC_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member that may only be read or written while holding `x`.
+#define RSHC_GUARDED_BY(x) RSHC_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define RSHC_PT_GUARDED_BY(x) RSHC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The calling thread must already hold the listed capabilities
+/// exclusively (and they are still held on return).
+#define RSHC_REQUIRES(...) \
+  RSHC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+/// With no argument on a member of a capability class, acquires `this`.
+#define RSHC_ACQUIRE(...) \
+  RSHC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held on
+/// entry). With no argument on a member of a capability class, `this`.
+#define RSHC_RELEASE(...) \
+  RSHC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability and returns `ret`
+/// (true/false) on success.
+#define RSHC_TRY_ACQUIRE(...) \
+  RSHC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities: the function (or one
+/// it calls) acquires them itself, so entering with them held would
+/// self-deadlock on the non-recursive std::mutex underneath.
+#define RSHC_EXCLUDES(...) \
+  RSHC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime no-op that tells the analysis the capability IS held here.
+/// Used at the top of condition-variable predicate lambdas, which execute
+/// under the lock but are opaque to the intraprocedural analysis.
+#define RSHC_ASSERT_CAPABILITY(...) \
+  RSHC_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// The function returns a reference to the named capability (used by
+/// accessors that expose the underlying std::mutex for CV waits).
+#define RSHC_RETURN_CAPABILITY(x) RSHC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis inside one function. Every use must
+/// carry a justification comment (same policy as sanitizer suppressions).
+#define RSHC_NO_THREAD_SAFETY_ANALYSIS \
+  RSHC_THREAD_ANNOTATION(no_thread_safety_analysis)

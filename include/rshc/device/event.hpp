@@ -4,7 +4,8 @@
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::device {
 
@@ -15,7 +16,7 @@ class Event {
   /// Mark complete and wake waiters (called by the stream worker).
   void set() const {
     {
-      std::scoped_lock lock(state_->mutex);
+      LockGuard lock(state_->mutex);
       state_->done = true;
     }
     state_->cv.notify_all();
@@ -23,20 +24,24 @@ class Event {
 
   /// Block until set().
   void wait() const {
-    std::unique_lock lock(state_->mutex);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    State& s = *state_;
+    LockGuard lock(s.mutex);
+    s.cv.wait(lock.native_lock(), [&s] {
+      s.mutex.assert_held();  // predicate runs under the wait's lock
+      return s.done;
+    });
   }
 
   [[nodiscard]] bool query() const {
-    std::scoped_lock lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     return state_->done;
   }
 
  private:
   struct State {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable cv;
-    bool done = false;
+    bool done RSHC_GUARDED_BY(mutex) = false;
   };
   std::shared_ptr<State> state_;
 };

@@ -19,11 +19,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::obs {
 
@@ -172,20 +173,26 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  TimeHist& timer(std::string_view name);
+  Counter& counter(std::string_view name) RSHC_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) RSHC_EXCLUDES(mutex_);
+  TimeHist& timer(std::string_view name) RSHC_EXCLUDES(mutex_);
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const RSHC_EXCLUDES(mutex_);
   /// Zero every metric in place; references stay valid.
-  void reset();
+  void reset() RSHC_EXCLUDES(mutex_);
 
  private:
   friend class ScopedRegistry;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<TimeHist>, std::less<>> timers_;
+  // mutex_ guards only the name->metric maps (registration and snapshot
+  // iteration); the metrics themselves are lock-free atomics, so returned
+  // references are used outside the lock by design.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      RSHC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      RSHC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<TimeHist>, std::less<>> timers_
+      RSHC_GUARDED_BY(mutex_);
 };
 
 /// RAII: route the calling thread's macro instrumentation into `reg`

@@ -34,8 +34,15 @@ class PhaseScope {
   PhaseScope(TimeHist& hist, const char* name, const char* cat,
              std::int64_t id = -1) noexcept {
     if (enabled()) {
-      Registry* scoped = Registry::scoped();
-      hist_ = scoped != nullptr ? &scoped->timer(name) : &hist;
+      // A scoped-registry timer lookup can allocate on first use; on
+      // failure skip this scope's instrumentation (hist_ stays null)
+      // rather than let the exception escape the noexcept constructor.
+      try {
+        Registry* scoped = Registry::scoped();
+        hist_ = scoped != nullptr ? &scoped->timer(name) : &hist;
+      } catch (...) {
+        return;
+      }
       name_ = name;
       cat_ = cat;
       id_ = id;
@@ -47,7 +54,11 @@ class PhaseScope {
     if (hist_ != nullptr) {
       const std::int64_t t1 = now_ns();
       hist_->record_ns(t1 - t0_);
-      if (trace_) Tracer::global().record_span(name_, cat_, id_, t0_, t1);
+      // Same contract as ~TraceScope: drop the span, never terminate.
+      try {
+        if (trace_) Tracer::global().record_span(name_, cat_, id_, t0_, t1);
+      } catch (...) {
+      }
     }
   }
   PhaseScope(const PhaseScope&) = delete;

@@ -16,9 +16,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::obs {
 
@@ -78,34 +79,38 @@ class Tracer {
   /// Perfetto metadata (ph:"M"): label the process track for `pid`
   /// (a rank) and the calling thread's track. Unregistered pids/tids fall
   /// back to "rank <pid>" / "tid <tid>" at export time.
-  void set_process_name(int pid, std::string name);
-  void set_current_thread_name(std::string name);
+  void set_process_name(int pid, std::string name) RSHC_EXCLUDES(mutex_);
+  void set_current_thread_name(std::string name) RSHC_EXCLUDES(mutex_);
 
   /// All buffered events merged across threads, sorted by begin time.
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const RSHC_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}, "X" complete events).
-  void write_chrome_json(std::ostream& os) const;
-  void write_chrome_json_file(const std::string& path) const;
+  void write_chrome_json(std::ostream& os) const RSHC_EXCLUDES(mutex_);
+  void write_chrome_json_file(const std::string& path) const
+      RSHC_EXCLUDES(mutex_);
 
   /// Drop all buffered events (rings stay allocated).
-  void clear();
+  void clear() RSHC_EXCLUDES(mutex_);
 
   /// Ring capacity in events per thread; applies to new rings and resets
   /// existing ones. Default 65536. When a ring is full the oldest events
   /// are overwritten and dropped() grows.
-  void set_ring_capacity(std::size_t events_per_thread);
-  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  void set_ring_capacity(std::size_t events_per_thread) RSHC_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const noexcept RSHC_EXCLUDES(mutex_);
 
  private:
   struct Ring;
-  Ring& my_ring();
+  Ring& my_ring() RSHC_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;  // guards rings, capacity, and name maps
-  std::vector<std::unique_ptr<Ring>> rings_;
-  std::size_t capacity_ = 65536;
-  std::map<int, std::string> process_names_;
-  std::map<std::uint32_t, std::string> thread_names_;
+  // Lock order: mutex_ may be held while taking a Ring::mutex (export /
+  // clear / resize iterate the rings), never the reverse — a ring writer
+  // (record_span) holds only its own ring's mutex.
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ RSHC_GUARDED_BY(mutex_);
+  std::size_t capacity_ RSHC_GUARDED_BY(mutex_) = 65536;
+  std::map<int, std::string> process_names_ RSHC_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::string> thread_names_ RSHC_GUARDED_BY(mutex_);
 };
 
 /// Begin a cross-thread flow (sender side): records a ph:"s" event bound
@@ -133,7 +138,12 @@ class TraceScope {
   }
   ~TraceScope() {
     if (name_ != nullptr) {
-      Tracer::global().record_span(name_, cat_, id_, t0_, now_ns());
+      // Swallow allocation failure from a first-touch ring registration:
+      // dropping one span beats terminating the traced program.
+      try {
+        Tracer::global().record_span(name_, cat_, id_, t0_, now_ns());
+      } catch (...) {
+      }
     }
   }
   TraceScope(const TraceScope&) = delete;

@@ -13,11 +13,11 @@
 #include <functional>
 #include <future>
 #include <initializer_list>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "rshc/check/check.hpp"
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::parallel {
 
@@ -46,7 +46,7 @@ class TaskGraph {
   /// The first exception thrown by any node is rethrown here; downstream
   /// nodes of a failed node still run (physics kernels report failure via
   /// status fields, not exceptions, so this only matters for test hooks).
-  void run(ThreadPool& pool);
+  void run(ThreadPool& pool) RSHC_EXCLUDES(error_mutex_);
 
  private:
   struct Node {
@@ -54,7 +54,8 @@ class TaskGraph {
     std::vector<NodeId> dependents;
     int num_deps = 0;
     // acq_rel on the releasing decrement: the node that drops pending to 0
-    // must observe all writes of the dependencies it waited for.
+    // must observe all writes of the dependencies it waited for. The
+    // per-run reset in run() is relaxed (no worker is live yet).
     std::atomic<int> pending{0};
 #if RSHC_CHECKS_ENABLED
     // relaxed: checker bookkeeping only (fired-exactly-once invariant);
@@ -63,7 +64,7 @@ class TaskGraph {
 #endif
   };
 
-  void finish_node(ThreadPool& pool, NodeId id);
+  void finish_node(ThreadPool& pool, NodeId id) RSHC_EXCLUDES(error_mutex_);
   void release_dependents(ThreadPool& pool, NodeId id);
 
   // deque: stable addresses, no relocation (Node holds an atomic).
@@ -71,11 +72,12 @@ class TaskGraph {
 
   // Per-run state.
   // acq_rel on the final decrement: the thread observing 0 fulfils the
-  // done_ promise and must see every node's side effects.
+  // done_ promise and must see every node's side effects. The per-run
+  // reset in run() is relaxed (no worker is live yet).
   std::atomic<std::size_t> remaining_{0};
   std::promise<void> done_;
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ RSHC_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace rshc::parallel

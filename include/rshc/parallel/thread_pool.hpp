@@ -10,10 +10,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::parallel {
 
@@ -40,7 +41,7 @@ class ThreadPool {
 
   /// Fire-and-forget variant used by the dataflow engine (result delivery is
   /// handled by the caller's promise).
-  void enqueue(std::function<void()> fn);
+  void enqueue(std::function<void()> fn) RSHC_EXCLUDES(mutex_);
 
   /// Run `fn(i)` for i in [begin, end) across the pool, blocking until done.
   /// `grain` is the minimum chunk size per task. Safe to call from a worker
@@ -50,16 +51,18 @@ class ThreadPool {
                     long long grain = 1);
 
   /// Number of tasks currently queued (diagnostic).
-  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t queued() const RSHC_EXCLUDES(mutex_);
 
  private:
-  void worker_loop(const std::stop_token& st);
+  void worker_loop(const std::stop_token& st) RSHC_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ RSHC_GUARDED_BY(mutex_);
+  // Only the constructor mutates workers_; size() reads it lock-free after
+  // construction completes (publication via the constructing thread).
   std::vector<std::jthread> workers_;
-  bool stopping_ = false;
+  bool stopping_ RSHC_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide default pool sized from hardware_concurrency(); created on

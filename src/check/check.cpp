@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::check {
 namespace {
@@ -25,13 +26,16 @@ std::atomic<Action>& action_flag() {
 // relaxed: monotonic event counter; readers only need an eventual value.
 std::atomic<std::int64_t> g_violations{0};
 
-std::mutex& last_mutex() {
-  static std::mutex m;
-  return m;
-}
+// Last-violation sink: the mutex and the string it guards travel together
+// so the guarded-by relation is expressible (function-local statics cannot
+// name each other in attributes).
+struct Sink {
+  Mutex mutex;
+  std::string last RSHC_GUARDED_BY(mutex);
+};
 
-std::string& last_message() {
-  static std::string s;
+Sink& sink() {
+  static Sink s;
   return s;
 }
 
@@ -50,14 +54,16 @@ std::int64_t violation_count() noexcept {
 }
 
 std::string last_violation() {
-  std::scoped_lock lock(last_mutex());
-  return last_message();
+  Sink& s = sink();
+  LockGuard lock(s.mutex);
+  return s.last;
 }
 
 void reset() noexcept {
   g_violations.store(0, std::memory_order_relaxed);
-  std::scoped_lock lock(last_mutex());
-  last_message().clear();
+  Sink& s = sink();
+  LockGuard lock(s.mutex);
+  s.last.clear();
 }
 
 void fail(const char* phase, const char* what, const char* file, int line,
@@ -75,8 +81,15 @@ void fail(const char* phase, const char* what, const char* file, int line,
   }
   g_violations.fetch_add(1, std::memory_order_relaxed);
   {
-    std::scoped_lock lock(last_mutex());
-    last_message() = buf;
+    Sink& s = sink();
+    LockGuard lock(s.mutex);
+    // fail() is noexcept: swallow an (effectively impossible after the
+    // first call — capacity is reused) allocation failure rather than
+    // terminate while reporting someone else's violation.
+    try {
+      s.last = buf;
+    } catch (...) {
+    }
   }
   std::fprintf(stderr, "%s\n", buf);
   if (action() == Action::kAbort) std::abort();

@@ -39,7 +39,7 @@ void World::deliver(int dest, Message msg) {
   byte_count_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
-    std::scoped_lock lock(box.mutex);
+    LockGuard lock(box.mutex);
     box.messages.push_back(std::move(msg));
   }
   box.cv.notify_all();
@@ -47,7 +47,7 @@ void World::deliver(int dest, Message msg) {
 
 World::Message World::take_matching(int me, int source, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(me)];
-  std::unique_lock lock(box.mutex);
+  LockGuard lock(box.mutex);
   for (;;) {
     // In-order delivery per (source, tag): always take the *first* match in
     // FIFO order and, if it is still in flight, wait for it specifically —
@@ -68,9 +68,9 @@ World::Message World::take_matching(int me, int source, int tag) {
         box.messages.erase(match_it);
         return msg;
       }
-      box.cv.wait_until(lock, ready_at);
+      box.cv.wait_until(lock.native_lock(), ready_at);
     } else {
-      box.cv.wait(lock);
+      box.cv.wait(lock.native_lock());
     }
   }
 }
@@ -119,15 +119,17 @@ std::vector<std::byte> Communicator::recv_any_bytes(int source, int tag,
 
 void Communicator::barrier() {
   RSHC_TRACE_SCOPE("comm.barrier", "comm", rank_);
-  std::unique_lock lock(world_->coll_mutex_);
+  LockGuard lock(world_->coll_mutex_);
   const long long gen = world_->coll_generation_;
   if (++world_->coll_count_ == world_->size_) {
     world_->coll_count_ = 0;
     ++world_->coll_generation_;
     world_->coll_cv_.notify_all();
   } else {
-    world_->coll_cv_.wait(lock,
-                          [&] { return world_->coll_generation_ != gen; });
+    world_->coll_cv_.wait(lock.native_lock(), [&] {
+      world_->coll_mutex_.assert_held();  // predicate runs under the wait
+      return world_->coll_generation_ != gen;
+    });
   }
 }
 
@@ -141,7 +143,7 @@ void Communicator::allreduce(std::span<double> values, ReduceOp op) {
     }
     return a;  // unreachable
   };
-  std::unique_lock lock(world_->coll_mutex_);
+  LockGuard lock(world_->coll_mutex_);
   const long long gen = world_->coll_generation_;
   if (world_->coll_count_ == 0) {
     world_->coll_buffer_.assign(values.begin(), values.end());
@@ -160,8 +162,10 @@ void Communicator::allreduce(std::span<double> values, ReduceOp op) {
     ++world_->coll_generation_;
     world_->coll_cv_.notify_all();
   } else {
-    world_->coll_cv_.wait(lock,
-                          [&] { return world_->coll_generation_ != gen; });
+    world_->coll_cv_.wait(lock.native_lock(), [&] {
+      world_->coll_mutex_.assert_held();  // predicate runs under the wait
+      return world_->coll_generation_ != gen;
+    });
   }
   std::copy(world_->coll_result_.begin(), world_->coll_result_.end(),
             values.begin());

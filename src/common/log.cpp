@@ -3,15 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "rshc/common/mutex.hpp"
 
 namespace rshc::log {
 namespace {
 
 // relaxed: level filter flag; stale reads just let one message through.
 std::atomic<Level> g_level{Level::kInfo};
-std::mutex g_mutex;
+// Serializes whole-line writes to stderr (no data it guards beyond the
+// stream itself, so no GUARDED_BY fields hang off it).
+Mutex g_mutex;
 
 const char* tag(Level lvl) {
   switch (lvl) {
@@ -33,7 +36,7 @@ void write(Level lvl, std::string_view msg) {
   static const auto t0 = clock::now();
   const double secs =
       std::chrono::duration<double>(clock::now() - t0).count();
-  std::scoped_lock lock(g_mutex);
+  LockGuard lock(g_mutex);
   std::fprintf(stderr, "[%9.3f] %s %.*s\n", secs, tag(lvl),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -5,11 +5,11 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "rshc/common/error.hpp"
+#include "rshc/common/mutex.hpp"
 #include "rshc/obs/obs.hpp"
 
 namespace rshc::device {
@@ -116,7 +116,7 @@ class AccelDevice final : public Device {
   [[nodiscard]] Buffer alloc(std::size_t n) override { return Buffer(n, id_); }
 
   [[nodiscard]] StreamId create_stream() override {
-    std::scoped_lock lock(streams_mutex_);
+    LockGuard lock(streams_mutex_);
     streams_.push_back(std::make_unique<Stream>(id_));
     return static_cast<StreamId>(streams_.size()) - 1;
   }
@@ -166,7 +166,7 @@ class AccelDevice final : public Device {
     // to its stream beforehand.
     std::vector<Stream*> all;
     {
-      std::scoped_lock lock(streams_mutex_);
+      LockGuard lock(streams_mutex_);
       all.reserve(streams_.size());
       for (auto& s : streams_) all.push_back(s.get());
     }
@@ -192,9 +192,11 @@ class AccelDevice final : public Device {
             worker_loop(st);
           }) {}
 
-    void stop() {
+    // noexcept: called from the device destructor; a throw while tearing
+    // down a worker would terminate anyway, so promise it up front.
+    void stop() noexcept {
       {
-        std::scoped_lock lock(mutex);
+        LockGuard lock(mutex);
         stopping = true;
       }
       worker.request_stop();
@@ -202,10 +204,11 @@ class AccelDevice final : public Device {
       if (worker.joinable()) worker.join();
     }
 
-    Event enqueue(const char* name, std::function<void()> op) {
+    Event enqueue(const char* name, std::function<void()> op)
+        RSHC_EXCLUDES(mutex) {
       Event e;
       {
-        std::scoped_lock lock(mutex);
+        LockGuard lock(mutex);
         RSHC_REQUIRE(!stopping, "submit to destroyed accelerator");
         queue.push_back(StreamOp{name, std::move(op), e});
       }
@@ -213,12 +216,15 @@ class AccelDevice final : public Device {
       return e;
     }
 
-    void worker_loop(const std::stop_token& st) {
+    void worker_loop(const std::stop_token& st) RSHC_EXCLUDES(mutex) {
       for (;;) {
         StreamOp item;
         {
-          std::unique_lock lock(mutex);
-          cv.wait(lock, st, [this] { return !queue.empty() || stopping; });
+          LockGuard lock(mutex);
+          cv.wait(lock.native_lock(), st, [this] {
+            mutex.assert_held();  // predicate runs under the wait's lock
+            return !queue.empty() || stopping;
+          });
           if (queue.empty()) return;
           item = std::move(queue.front());
           queue.pop_front();
@@ -232,10 +238,10 @@ class AccelDevice final : public Device {
     }
 
     int id;
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable_any cv;
-    std::deque<StreamOp> queue;
-    bool stopping = false;
+    std::deque<StreamOp> queue RSHC_GUARDED_BY(mutex);
+    bool stopping RSHC_GUARDED_BY(mutex) = false;
     std::jthread worker;
   };
 
@@ -268,7 +274,7 @@ class AccelDevice final : public Device {
   Event enqueue(StreamId stream, const char* name, std::function<void()> op) {
     Stream* s = nullptr;
     {
-      std::scoped_lock lock(streams_mutex_);
+      LockGuard lock(streams_mutex_);
       RSHC_REQUIRE(stream >= 0 &&
                        stream < static_cast<StreamId>(streams_.size()),
                    "unknown stream id");
@@ -279,8 +285,9 @@ class AccelDevice final : public Device {
 
   AccelModel model_;
   int id_;
-  std::mutex streams_mutex_;  // guards the streams_ vector, not the queues
-  std::vector<std::unique_ptr<Stream>> streams_;
+  Mutex streams_mutex_;  // guards the streams_ vector, not the queues
+  std::vector<std::unique_ptr<Stream>> streams_
+      RSHC_GUARDED_BY(streams_mutex_);
 };
 
 }  // namespace

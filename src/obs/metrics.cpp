@@ -275,7 +275,7 @@ ScopedRegistry::ScopedRegistry(Registry& reg) noexcept
 ScopedRegistry::~ScopedRegistry() { tl_scoped_registry = prev_; }
 
 Counter& Registry::counter(std::string_view name) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -285,7 +285,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -294,7 +294,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 TimeHist& Registry::timer(std::string_view name) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(std::string(name), std::make_unique<TimeHist>())
@@ -304,7 +304,7 @@ TimeHist& Registry::timer(std::string_view name) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   Snapshot snap;
   snap.entries.reserve(counters_.size() + gauges_.size() + timers_.size());
   for (const auto& [name, c] : counters_) {
@@ -344,7 +344,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();

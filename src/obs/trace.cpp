@@ -59,19 +59,21 @@ int thread_rank() noexcept { return tl_thread_rank; }
 
 // Fixed-capacity overwrite-oldest ring. Writers are single-threaded (each
 // thread owns one ring); the mutex only serializes against export/clear.
+// Lock order: Tracer::mutex_ -> Ring::mutex (export/clear/resize take the
+// tracer lock first); push() takes only its own ring's mutex.
 struct Tracer::Ring {
-  std::mutex mutex;
-  std::vector<TraceEvent> buf;
-  std::size_t next = 0;        // slot for the next event
-  std::uint64_t written = 0;   // lifetime events recorded
+  Mutex mutex;
+  std::vector<TraceEvent> buf RSHC_GUARDED_BY(mutex);
+  std::size_t next RSHC_GUARDED_BY(mutex) = 0;       // slot for the next event
+  std::uint64_t written RSHC_GUARDED_BY(mutex) = 0;  // lifetime events
   std::uint32_t tid = 0;
 
   explicit Ring(std::size_t capacity, std::uint32_t tid_in) : tid(tid_in) {
     buf.resize(capacity);
   }
 
-  void push(const TraceEvent& ev) {
-    std::scoped_lock lock(mutex);
+  void push(const TraceEvent& ev) RSHC_EXCLUDES(mutex) {
+    LockGuard lock(mutex);
     buf[next] = ev;
     next = (next + 1) % buf.size();
     ++written;
@@ -89,7 +91,7 @@ Tracer::Ring& Tracer::my_ring() {
   thread_local Ring* mine = nullptr;
   thread_local const Tracer* owner = nullptr;
   if (mine == nullptr || owner != this) {
-    std::scoped_lock lock(mutex_);
+    LockGuard lock(mutex_);
     rings_.push_back(std::make_unique<Ring>(
         capacity_, static_cast<std::uint32_t>(rings_.size())));
     mine = rings_.back().get();
@@ -128,13 +130,13 @@ void Tracer::record_flow(const char* name, const char* cat,
 }
 
 void Tracer::set_process_name(int pid, std::string name) {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   process_names_[pid] = std::move(name);
 }
 
 void Tracer::set_current_thread_name(std::string name) {
   const std::uint32_t tid = my_ring().tid;
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   thread_names_[tid] = std::move(name);
 }
 
@@ -155,9 +157,9 @@ void flow_end(const char* name, const char* cat, std::uint64_t id) {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& ring : rings_) {
-    std::scoped_lock rlock(ring->mutex);
+    LockGuard rlock(ring->mutex);
     const std::size_t cap = ring->buf.size();
     const std::size_t n =
         static_cast<std::size_t>(std::min<std::uint64_t>(ring->written, cap));
@@ -180,7 +182,7 @@ void Tracer::write_chrome_json(std::ostream& os) const {
   std::map<int, std::string> process_names;
   std::map<std::uint32_t, std::string> thread_names;
   {
-    std::scoped_lock lock(mutex_);
+    LockGuard lock(mutex_);
     process_names = process_names_;
     thread_names = thread_names_;
   }
@@ -253,9 +255,9 @@ void Tracer::write_chrome_json_file(const std::string& path) const {
 }
 
 void Tracer::clear() {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& ring : rings_) {
-    std::scoped_lock rlock(ring->mutex);
+    LockGuard rlock(ring->mutex);
     ring->next = 0;
     ring->written = 0;
   }
@@ -263,10 +265,10 @@ void Tracer::clear() {
 
 void Tracer::set_ring_capacity(std::size_t events_per_thread) {
   RSHC_REQUIRE(events_per_thread >= 1, "trace ring capacity must be >= 1");
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   capacity_ = events_per_thread;
   for (auto& ring : rings_) {
-    std::scoped_lock rlock(ring->mutex);
+    LockGuard rlock(ring->mutex);
     ring->buf.assign(events_per_thread, TraceEvent{});
     ring->next = 0;
     ring->written = 0;
@@ -275,9 +277,9 @@ void Tracer::set_ring_capacity(std::size_t events_per_thread) {
 
 std::uint64_t Tracer::dropped() const noexcept {
   std::uint64_t d = 0;
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& ring : rings_) {
-    std::scoped_lock rlock(ring->mutex);
+    LockGuard rlock(ring->mutex);
     const auto cap = static_cast<std::uint64_t>(ring->buf.size());
     if (ring->written > cap) d += ring->written - cap;
   }

@@ -29,7 +29,7 @@ void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
     RSHC_TRACE_SCOPE("graph.node", "graph", static_cast<std::int64_t>(id));
     nodes_[id].fn();
   } catch (...) {
-    std::scoped_lock lock(error_mutex_);
+    LockGuard lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
   }
   RSHC_OBS_COUNT("graph.nodes_run", 1);
@@ -60,7 +60,10 @@ void TaskGraph::run(ThreadPool& pool) {
 #endif
   remaining_.store(nodes_.size(), std::memory_order_relaxed);
   done_ = std::promise<void>();
-  error_ = nullptr;
+  {
+    LockGuard lock(error_mutex_);
+    error_ = nullptr;
+  }
 
   auto done = done_.get_future();
   for (NodeId id = 0; id < nodes_.size(); ++id) {
@@ -79,6 +82,9 @@ void TaskGraph::run(ThreadPool& pool) {
                "task graph drained with a node not fired exactly once");
   }
 #endif
+  // The graph drained, so no writer remains; lock anyway to satisfy the
+  // guarded-by contract (one uncontended lock per run).
+  LockGuard lock(error_mutex_);
   if (error_) std::rethrow_exception(error_);
 }
 

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   for (auto& w : workers_) w.request_stop();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
-    std::scoped_lock lock(mutex_);
+    LockGuard lock(mutex_);
     RSHC_REQUIRE(!stopping_, "enqueue on stopped thread pool");
     queue_.push_back(std::move(fn));
     RSHC_OBS_GAUGE("pool.queue_depth", static_cast<double>(queue_.size()));
@@ -38,7 +38,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 std::size_t ThreadPool::queued() const {
-  std::scoped_lock lock(mutex_);
+  LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -46,8 +46,11 @@ void ThreadPool::worker_loop(const std::stop_token& st) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, st, [this] { return !queue_.empty() || stopping_; });
+      LockGuard lock(mutex_);
+      cv_.wait(lock.native_lock(), st, [this] {
+        mutex_.assert_held();  // predicate runs under the wait's lock
+        return !queue_.empty() || stopping_;
+      });
       if (queue_.empty()) return;  // stop requested and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -85,8 +88,8 @@ void ThreadPool::parallel_for(long long begin, long long end,
     std::atomic<long long> completed{0};
     long long total;
     std::promise<void> done;
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
+    std::exception_ptr error RSHC_GUARDED_BY(error_mutex);
   };
   auto shared = std::make_shared<Shared>();
   shared->next.store(begin, std::memory_order_relaxed);
@@ -102,7 +105,7 @@ void ThreadPool::parallel_for(long long begin, long long end,
       try {
         for (long long i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::scoped_lock lock(shared->error_mutex);
+        LockGuard lock(shared->error_mutex);
         if (!shared->error) shared->error = std::current_exception();
       }
       ++finished;
@@ -120,6 +123,9 @@ void ThreadPool::parallel_for(long long begin, long long end,
   for (long long h = 0; h < helpers; ++h) enqueue(drive);
   drive();
   shared->done.get_future().wait();
+  // All chunks have completed; take the lock anyway so the guarded read
+  // satisfies the capability contract (cold path, one lock per call).
+  LockGuard lock(shared->error_mutex);
   if (shared->error) std::rethrow_exception(shared->error);
 }
 

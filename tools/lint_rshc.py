@@ -5,6 +5,11 @@ Run from anywhere: paths are resolved relative to the repository root
 (parent of tools/). Exit code 0 = clean, 1 = violations (printed as
 file:line: [rule] message, one per line, grep/IDE friendly).
 
+`lint_rshc.py selftest` runs the rules against seeded in-memory snippets
+(each rule's positive and negative cases, including the nested-template
+atomic declarations the old regex missed) and exits nonzero if any seeded
+violation goes undetected or any clean snippet is flagged.
+
 Rules
 -----
 float-keyed-map   std::map/std::unordered_map keyed on double/float anywhere
@@ -53,10 +58,41 @@ SOLVER_DIRS = ("src/solver", "include/rshc/solver")
 ORDERING_WORDS = re.compile(
     r"relaxed|acquire|release|acq_rel|seq_cst|ordering", re.IGNORECASE)
 
-# An atomic *object* declaration: `std::atomic<T> name...` — not a
-# reference/pointer (parameters, return types) and not a using-alias.
-ATOMIC_DECL = re.compile(r"std::atomic<[^>]*>\s+\w")
-ATOMIC_NON_DECL = re.compile(r"std::atomic<[^>]*>\s*[&*]|using\s")
+def atomic_object_decl(stripped: str) -> bool:
+    """True when the (comment-stripped) line declares a std::atomic
+    *object* — not a reference/pointer (parameters, return types) and not
+    a using-alias. The template argument list is matched with a balanced
+    angle-bracket scan, so nested templates like
+    `std::atomic<std::shared_ptr<T>>` resolve to the right closer; the
+    old `std::atomic<[^>]*>` regex stopped at the *first* `>` and silently
+    skipped every nested declaration."""
+    if "std::atomic" not in stripped or re.search(r"\busing\s", stripped):
+        return False
+    # Walk every template-id on the line (`name<...>` with balanced
+    # brackets); one *containing* std::atomic covers both the direct form
+    # and atomics nested inside an aggregate's argument list, e.g.
+    # `std::array<std::atomic<T>, N> bins;`.
+    for m in re.finditer(r"[\w:]+\s*<", stripped):
+        depth = 1
+        i = m.end()
+        while i < len(stripped) and depth > 0:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            # Closer (and therefore any declared name) is on a later line;
+            # multi-line atomic declarations do not occur in this tree.
+            continue
+        if "std::atomic" not in stripped[m.start():i]:
+            continue
+        rest = stripped[i:].lstrip()
+        if rest[:1] in ("&", "*"):
+            continue  # reference/pointer: parameter or return type
+        if re.match(r"\w", rest):
+            return True
+    return False
 
 FLOAT_MAP = re.compile(r"\b(?:std::)?(?:unordered_)?map\s*<\s*(?:double|float)\b")
 
@@ -101,15 +137,16 @@ class Linter:
     def __init__(self) -> None:
         self.violations: list[str] = []
 
-    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
-        rel = path.relative_to(REPO)
+    def report(self, rel: str, lineno: int, rule: str, msg: str) -> None:
         self.violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
     # -- per-file rules ---------------------------------------------------
 
     def lint_cpp(self, path: Path) -> None:
-        rel = str(path.relative_to(REPO))
-        lines = path.read_text(encoding="utf-8").splitlines()
+        self.lint_lines(str(path.relative_to(REPO)),
+                        path.read_text(encoding="utf-8").splitlines())
+
+    def lint_lines(self, rel: str, lines: list[str]) -> None:
         in_block_comment = False
         in_solver = any(rel.startswith(d) for d in SOLVER_DIRS)
         in_obs = "/obs/" in rel or rel.startswith("src/obs")
@@ -139,28 +176,27 @@ class Linter:
             stripped = strip_comments_and_strings("".join(code))
 
             if FLOAT_MAP.search(stripped):
-                self.report(path, lineno, "float-keyed-map",
+                self.report(rel, lineno, "float-keyed-map",
                             "map keyed on floating-point state; use an "
                             "integer or quantized key")
 
             if in_solver and (RAW_NEW.search(stripped)
                               or RAW_DELETE.search(stripped)):
-                self.report(path, lineno, "raw-new-solver",
+                self.report(rel, lineno, "raw-new-solver",
                             "raw new/delete in solver code; use containers "
                             "or std::make_unique")
 
             in_library = rel.startswith("include/") or rel.startswith("src/")
-            if (in_library and ATOMIC_DECL.search(stripped)
-                    and not ATOMIC_NON_DECL.search(stripped)):
+            if in_library and atomic_object_decl(stripped):
                 context = lines[max(0, lineno - 4):lineno]
                 if not any(ORDERING_WORDS.search(c) for c in context):
-                    self.report(path, lineno, "atomic-ordering",
+                    self.report(rel, lineno, "atomic-ordering",
                                 "std::atomic declaration without a memory-"
                                 "ordering comment on or above it")
 
             if (not in_obs and not in_tests
                     and OBS_DIRECT.search(stripped)):
-                self.report(path, lineno, "obs-raii-only",
+                self.report(rel, lineno, "obs-raii-only",
                             "emit obs spans/flows via RSHC_OBS_PHASE / "
                             "RSHC_TRACE_SCOPE / RSHC_OBS_FLOW_BEGIN / "
                             "RSHC_OBS_FLOW_END, not by direct calls")
@@ -178,7 +214,8 @@ class Linter:
                     prev_comment = True
                     continue
                 if not prev_comment:
-                    self.report(supp, lineno, "supp-justified",
+                    self.report(str(supp.relative_to(REPO)), lineno,
+                                "supp-justified",
                                 "suppression entry without a justification "
                                 "comment directly above it")
                 prev_comment = False
@@ -199,5 +236,78 @@ class Linter:
         return 0
 
 
+# -- selftest ---------------------------------------------------------------
+
+# (rel-path, snippet, rule expected to fire or None for must-be-clean).
+# The nested-template atomic cases are the regression suite for the
+# balanced-angle-bracket scan: the old first-`>` regex missed all of them.
+SELFTEST_CASES = [
+    ("src/x/a.cpp",
+     "std::atomic<int> hits;",
+     "atomic-ordering"),
+    ("src/x/a.cpp",
+     "std::atomic<std::shared_ptr<Config>> cfg;",
+     "atomic-ordering"),  # nested template: old regex never matched this
+    ("src/x/a.cpp",
+     "std::array<std::atomic<std::int64_t>, kNumBins> bins{};",
+     "atomic-ordering"),  # atomic nested *inside* another template argument
+    ("src/x/a.cpp",
+     "// relaxed: counter, eventual visibility only\n"
+     "std::atomic<std::shared_ptr<Config>> cfg;",
+     None),
+    ("src/x/a.cpp",
+     "void f(std::atomic<std::shared_ptr<Config>>& cfg);",
+     None),  # reference parameter, not a declaration
+    ("src/x/a.cpp",
+     "using AtomicCfg = std::atomic<std::shared_ptr<Config>>;",
+     None),  # alias, not a declaration
+    ("src/x/a.cpp",
+     "// std::atomic<int> hits;",
+     None),  # commented-out code must not fire
+    ("tests/t.cpp",
+     "std::atomic<int> hits;",
+     None),  # tests are exempt from atomic-ordering
+    ("src/x/a.cpp",
+     "std::map<double, int> by_time;",
+     "float-keyed-map"),
+    ("src/solver/s.cpp",
+     "auto* p = new double[n];",
+     "raw-new-solver"),
+    ("src/x/a.cpp",
+     "auto* p = new double[n];",
+     None),  # raw new is only banned inside solver code
+    ("src/mesh/m.cpp",
+     "obs::TraceScope scope(\"mesh.build\");",
+     "obs-raii-only"),
+    ("src/obs/trace.cpp",
+     "record_span(name, cat, id, t0, t1);",
+     None),  # the obs module itself implements the direct calls
+]
+
+
+def selftest() -> int:
+    failures = []
+    for idx, (rel, snippet, expected) in enumerate(SELFTEST_CASES):
+        linter = Linter()
+        linter.lint_lines(rel, snippet.splitlines())
+        fired = sorted({v.split("[")[1].split("]")[0]
+                        for v in linter.violations})
+        if expected is None and fired:
+            failures.append(f"case {idx} ({rel!r}): expected clean, "
+                            f"fired {fired}")
+        elif expected is not None and expected not in fired:
+            failures.append(f"case {idx} ({rel!r}): expected [{expected}], "
+                            f"fired {fired or 'nothing'}")
+    if failures:
+        print(f"lint_rshc selftest: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"lint_rshc selftest: ok ({len(SELFTEST_CASES)} cases)")
+    return 0
+
+
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "selftest":
+        sys.exit(selftest())
     sys.exit(Linter().run())
