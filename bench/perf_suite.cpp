@@ -38,8 +38,10 @@
 #include "rshc/comm/communicator.hpp"
 #include "rshc/device/device.hpp"
 #include "rshc/mesh/grid.hpp"
+#include "rshc/obs/journal.hpp"
 #include "rshc/obs/obs.hpp"
 #include "rshc/obs/report.hpp"
+#include "rshc/obs/telemetry.hpp"
 #include "rshc/problems/problems.hpp"
 #include "rshc/solver/distributed.hpp"
 #include "rshc/solver/fv_solver.hpp"
@@ -301,6 +303,23 @@ std::vector<obs::report::PhaseStats> run_distributed(bool quick) {
       std::span<const obs::Snapshot>(rank_snaps), "dist.");
 }
 
+/// Steady-state solver throughput from the live-telemetry samples: the
+/// median positive heartbeat rate (robust against the warm-up ramp and
+/// the sampler catching an idle instant), falling back to the final
+/// heartbeat when the sampler took no usable samples.
+double steady_zones_per_sec(const obs::telemetry::Sampler& sampler) {
+  std::vector<double> rates;
+  for (const auto& s : sampler.samples()) {
+    const obs::Snapshot::Entry* e =
+        s.snapshot.find("solver.hb.zones_per_sec");
+    if (e != nullptr && e->value > 0.0) rates.push_back(e->value);
+  }
+  if (rates.empty()) return obs::telemetry::last_heartbeat().zones_per_sec;
+  auto mid = rates.begin() + static_cast<std::ptrdiff_t>(rates.size() / 2);
+  std::nth_element(rates.begin(), mid, rates.end());
+  return *mid;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,6 +327,18 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") quick = true;
   }
+
+  // Live telemetry rides along with every suite run: journal provenance +
+  // run bracket, the periodic sampler (RSHC_TELEMETRY_OUT for the JSONL
+  // stream), and the stall watchdog (armed only when RSHC_WATCHDOG says
+  // so). The steady-state throughput the sampler observes feeds the
+  // regression comparator as perf.telemetry.steady_zones_per_sec.
+  obs::journal::Journal::global().set_provenance(RSHC_GIT_SHA);
+  obs::journal::run_start("perf_suite");
+  obs::telemetry::Sampler sampler;  // options from RSHC_TELEMETRY_*
+  sampler.start();
+  obs::telemetry::Watchdog watchdog;  // options from RSHC_WATCHDOG*
+  watchdog.start();
 
   run_kernels(quick);
   // Zone updates per KH step: interior zones x the 3 SSP-RK stages the
@@ -329,6 +360,16 @@ int main(int argc, char** argv) {
   run_solver(quick, pipeline);
   std::vector<obs::report::PhaseStats> pencil = run_solver_pencil(quick);
   std::vector<obs::report::PhaseStats> dist = run_distributed(quick);
+
+  // Freeze telemetry before the report snapshot so the steady-throughput
+  // counter lands in this report's counter table.
+  watchdog.stop();
+  sampler.stop();
+  const double steady = steady_zones_per_sec(sampler);
+  if (steady > 0.0) {
+    RSHC_OBS_COUNT("perf.telemetry.steady_zones_per_sec",
+                   static_cast<std::int64_t>(steady));
+  }
 
   obs::report::RunReport rep;
   rep.suite = "perf_suite";
@@ -353,5 +394,6 @@ int main(int argc, char** argv) {
 
   // Honor the usual RSHC_DUMP_* env switches next to the bench CSVs.
   obs::maybe_dump("bench_results/perf_suite");
+  obs::journal::run_end("perf_suite");
   return 0;
 }

@@ -64,6 +64,14 @@ void reset() noexcept;
 void fail(const char* phase, const char* what, const char* file, int line,
           Zone zone = {}) noexcept;
 
+/// Observer invoked by fail() with the formatted report, after the
+/// violation is recorded and printed but before a kAbort-mode abort. It
+/// must not throw. Lets the structured event journal (obs::journal) record
+/// check failures without rshc::check depending on the obs layer; nullptr
+/// uninstalls.
+using FailureHook = void (*)(const char* report);
+void set_failure_hook(FailureHook hook) noexcept;
+
 /// Largest Lorentz factor accepted by the state validators. The face
 /// limiter caps |v| at 1 - 1e-10 (W ~ 7.1e4), so anything beyond 1e6 is
 /// unreachable by healthy code paths.

@@ -165,4 +165,34 @@ class World {
 void run_world(int size, const std::function<void(Communicator&)>& body,
                TransferModel model = {});
 
+/// Mailbox introspection for the stall watchdog (obs::telemetry): messages
+/// sitting delivered-but-unreceived across all Worlds, and a monotonic
+/// received count. Deliberately obs-free so the hooks exist in all build
+/// configurations.
+namespace introspect {
+
+// relaxed: watchdog diagnostics only; readers tolerate stale values.
+inline std::atomic<long long>& mailbox_depth_counter() noexcept {
+  static std::atomic<long long> depth{0};
+  return depth;
+}
+
+// relaxed: monotonic progress ticker for the watchdog; no ordering needed.
+inline std::atomic<long long>& received_counter() noexcept {
+  static std::atomic<long long> received{0};
+  return received;
+}
+
+/// Messages currently waiting in some rank's mailbox.
+[[nodiscard]] inline long long mailbox_depth() noexcept {
+  return mailbox_depth_counter().load(std::memory_order_relaxed);
+}
+
+/// Monotonic count of messages actually received (taken out of a mailbox).
+[[nodiscard]] inline long long messages_received() noexcept {
+  return received_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace introspect
+
 }  // namespace rshc::comm

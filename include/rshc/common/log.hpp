@@ -2,6 +2,9 @@
 // Minimal leveled logger. Thread-safe (single global mutex); intended for
 // progress / diagnostic messages, never for per-zone output.
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -41,6 +44,50 @@ void warn(Args&&... args) {
 template <typename... Args>
 void error(Args&&... args) {
   detail::emit(Level::kError, std::forward<Args>(args)...);
+}
+
+/// Call-site rate limiter for repeated identical messages: at most one
+/// emission per `min_interval`, counting what was dropped in between.
+/// Keep one instance (static local or long-lived member) next to the call
+/// it gates — the stall watchdog's warn mode uses one so a stalled run
+/// logs once per window instead of once per poll. Thread-safe.
+class RateLimit {
+ public:
+  explicit RateLimit(std::chrono::milliseconds min_interval) noexcept
+      : interval_ns_(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(min_interval)
+                .count()) {}
+
+  /// Returns -1 when the call must stay silent, otherwise the number of
+  /// calls suppressed since the last emission (0 when none were).
+  [[nodiscard]] std::int64_t acquire() noexcept;
+
+  /// Calls dropped since the last allowed emission (diagnostic).
+  [[nodiscard]] std::int64_t suppressed() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::int64_t interval_ns_;
+  // relaxed CAS claims the next emission window; losers only bump the
+  // suppressed counter, so no ordering beyond atomicity is needed.
+  std::atomic<std::int64_t> next_ns_{0};
+  // relaxed: dropped-call counter, eventual visibility only.
+  std::atomic<std::int64_t> suppressed_{0};
+};
+
+/// warn(), but gated by `limit`: drops the message inside the suppression
+/// window and annotates the next allowed one with the dropped count.
+template <typename... Args>
+void warn_limited(RateLimit& limit, Args&&... args) {
+  const std::int64_t dropped = limit.acquire();
+  if (dropped < 0) return;
+  if (dropped > 0) {
+    detail::emit(Level::kWarn, std::forward<Args>(args)..., " (", dropped,
+                 " similar suppressed)");
+  } else {
+    detail::emit(Level::kWarn, std::forward<Args>(args)...);
+  }
 }
 
 }  // namespace rshc::log

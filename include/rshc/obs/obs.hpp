@@ -82,6 +82,14 @@ class PhaseScope {
 /// harnesses with prefix = "bench_results/<id>". No-op otherwise.
 void maybe_dump(const std::string& prefix);
 
+// Forward declaration so RSHC_OBS_HEARTBEAT does not pull the full
+// telemetry header (threads, streams) into every instrumented TU; the
+// definition lives in rshc/obs/telemetry.hpp.
+namespace telemetry {
+void publish_heartbeat(std::int64_t step, double t, double dt,
+                       double zones_per_sec) noexcept;
+}  // namespace telemetry
+
 }  // namespace rshc::obs
 
 #define RSHC_OBS_CONCAT_INNER(a, b) a##b
@@ -146,6 +154,12 @@ void maybe_dump(const std::string& prefix);
 #define RSHC_OBS_FLOW_END(name, cat, flow_id) \
   ::rshc::obs::flow_end(name, cat, flow_id)
 
+/// Publish a solver heartbeat (per-step live-telemetry gauges + watchdog
+/// progress tick; see rshc/obs/telemetry.hpp). Arguments are unevaluated
+/// under RSHC_OBS=OFF.
+#define RSHC_OBS_HEARTBEAT(step, t, dt, zps) \
+  ::rshc::obs::telemetry::publish_heartbeat(step, t, dt, zps)
+
 #else  // !RSHC_OBS_ENABLED
 
 #define RSHC_OBS_COUNT(name, n) ((void)0)
@@ -154,5 +168,6 @@ void maybe_dump(const std::string& prefix);
 #define RSHC_TRACE_SCOPE(name, cat, id) ((void)0)
 #define RSHC_OBS_FLOW_BEGIN(name, cat) (std::uint64_t{0})
 #define RSHC_OBS_FLOW_END(name, cat, flow_id) ((void)(flow_id))
+#define RSHC_OBS_HEARTBEAT(step, t, dt, zps) ((void)0)
 
 #endif  // RSHC_OBS_ENABLED

@@ -16,7 +16,9 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rshc/common/mutex.hpp"
@@ -44,6 +46,7 @@ enum class EventKind : std::uint8_t {
   kSpan,       ///< complete event, ph:"X"
   kFlowStart,  ///< flow begin, ph:"s" (binds to the enclosing span)
   kFlowEnd,    ///< flow end, ph:"f" with bp:"e"
+  kCounter,    ///< counter sample, ph:"C" (value tracks on the timeline)
 };
 
 struct TraceEvent {
@@ -53,6 +56,7 @@ struct TraceEvent {
   std::uint64_t flow_id = 0;   ///< nonzero pairing id for flow events
   std::int64_t t0_ns = 0;      ///< span begin, now_ns() clock
   std::int64_t t1_ns = 0;      ///< span end (== t0_ns for flow events)
+  double value = 0.0;          ///< sampled value for counter events
   std::uint32_t tid = 0;       ///< recording thread (registration order)
   std::int32_t pid = 0;        ///< rank label (thread_rank() at record time)
   EventKind kind = EventKind::kSpan;
@@ -75,6 +79,14 @@ class Tracer {
   /// compile away under RSHC_OBS=OFF.
   void record_flow(const char* name, const char* cat, std::uint64_t flow_id,
                    EventKind kind);
+
+  /// Append a counter sample (ph:"C", timestamped now) to the calling
+  /// thread's ring, attributed to process track `pid` (a rank; pass -1 to
+  /// use the calling thread's rank). Counter names may be dynamic strings
+  /// — e.g. metric names from a Registry snapshot — so they are interned
+  /// into tracer-owned storage the first time they appear.
+  void record_counter(std::string_view name, const char* cat, double value,
+                      int pid = -1) RSHC_EXCLUDES(mutex_);
 
   /// Perfetto metadata (ph:"M"): label the process track for `pid`
   /// (a rank) and the calling thread's track. Unregistered pids/tids fall
@@ -106,11 +118,16 @@ class Tracer {
   // Lock order: mutex_ may be held while taking a Ring::mutex (export /
   // clear / resize iterate the rings), never the reverse — a ring writer
   // (record_span) holds only its own ring's mutex.
+  const char* intern_name(std::string_view name) RSHC_EXCLUDES(mutex_);
+
   mutable Mutex mutex_;
   std::vector<std::unique_ptr<Ring>> rings_ RSHC_GUARDED_BY(mutex_);
   std::size_t capacity_ RSHC_GUARDED_BY(mutex_) = 65536;
   std::map<int, std::string> process_names_ RSHC_GUARDED_BY(mutex_);
   std::map<std::uint32_t, std::string> thread_names_ RSHC_GUARDED_BY(mutex_);
+  // Interned counter names: std::set nodes are stable, so the c_str()
+  // pointers handed to TraceEvent::name stay valid for the tracer's life.
+  std::set<std::string, std::less<>> interned_ RSHC_GUARDED_BY(mutex_);
 };
 
 /// Begin a cross-thread flow (sender side): records a ph:"s" event bound

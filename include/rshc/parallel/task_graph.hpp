@@ -80,4 +80,34 @@ class TaskGraph {
   std::exception_ptr error_ RSHC_GUARDED_BY(error_mutex_);
 };
 
+/// Process-wide scheduler introspection for the stall watchdog
+/// (obs::telemetry): nodes scheduled-but-unfinished right now, and a
+/// monotonic finished count. Summed over every TaskGraph run in flight.
+/// Deliberately obs-free so the hooks exist in all build configurations.
+namespace introspect {
+
+// relaxed: watchdog diagnostics only; readers tolerate stale values.
+inline std::atomic<long long>& graph_pending_counter() noexcept {
+  static std::atomic<long long> pending{0};
+  return pending;
+}
+
+// relaxed: monotonic progress ticker for the watchdog; no ordering needed.
+inline std::atomic<long long>& graph_finished_counter() noexcept {
+  static std::atomic<long long> finished{0};
+  return finished;
+}
+
+/// Nodes scheduled by a run() that has not observed their completion yet.
+[[nodiscard]] inline long long pending_graph_nodes() noexcept {
+  return graph_pending_counter().load(std::memory_order_relaxed);
+}
+
+/// Monotonic count of nodes that finished (successfully or not).
+[[nodiscard]] inline long long graph_nodes_finished() noexcept {
+  return graph_finished_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace introspect
+
 }  // namespace rshc::parallel

@@ -69,4 +69,33 @@ class ThreadPool {
 /// first use. Harnesses that sweep worker counts construct their own pools.
 ThreadPool& default_pool();
 
+/// Worker-state introspection for the stall watchdog's per-thread dump
+/// (obs::telemetry), summed over every pool in the process. Deliberately
+/// obs-free so the hooks exist in all build configurations.
+namespace introspect {
+
+// relaxed: watchdog diagnostics only; readers tolerate stale values.
+inline std::atomic<long long>& pool_busy_counter() noexcept {
+  static std::atomic<long long> busy{0};
+  return busy;
+}
+
+// relaxed: monotonic progress ticker for the watchdog; no ordering needed.
+inline std::atomic<long long>& pool_finished_counter() noexcept {
+  static std::atomic<long long> finished{0};
+  return finished;
+}
+
+/// Workers currently executing a task (as opposed to sleeping on the CV).
+[[nodiscard]] inline long long pool_busy_workers() noexcept {
+  return pool_busy_counter().load(std::memory_order_relaxed);
+}
+
+/// Monotonic count of pool tasks that ran to completion.
+[[nodiscard]] inline long long pool_tasks_finished() noexcept {
+  return pool_finished_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace introspect
+
 }  // namespace rshc::parallel

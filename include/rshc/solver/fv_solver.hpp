@@ -124,6 +124,9 @@ class FvSolver {
   [[nodiscard]] const mesh::Grid& grid() const { return grid_; }
   [[nodiscard]] const Options& options() const { return opt_; }
   [[nodiscard]] double time() const { return time_; }
+  /// Steps taken over this solver's lifetime (any stepping entry point);
+  /// also the step number stamped on the telemetry heartbeat.
+  [[nodiscard]] long long steps_taken() const { return steps_taken_; }
   [[nodiscard]] int num_blocks() const {
     return static_cast<int>(blocks_.size());
   }
@@ -220,6 +223,7 @@ class FvSolver {
   C2PStats stats_;
   double time_ = 0.0;
   double current_dt_ = 0.0;
+  long long steps_taken_ = 0;
   PhaseTimes phases_;
 
   // Lazily constructed on the first kDevice step; owns the per-block

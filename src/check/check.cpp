@@ -39,6 +39,13 @@ Sink& sink() {
   return s;
 }
 
+// relaxed: hook installation is a cold mode switch; a racing fail() either
+// sees the hook or misses one event, never a torn pointer.
+std::atomic<FailureHook>& failure_hook() {
+  static std::atomic<FailureHook> h{nullptr};
+  return h;
+}
+
 }  // namespace
 
 void set_action(Action a) noexcept {
@@ -92,7 +99,19 @@ void fail(const char* phase, const char* what, const char* file, int line,
     }
   }
   std::fprintf(stderr, "%s\n", buf);
+  if (FailureHook hook = failure_hook().load(std::memory_order_relaxed)) {
+    // fail() is noexcept and may be one instruction from abort(): a hook
+    // that breaks its no-throw contract must not mask the violation.
+    try {
+      hook(buf);
+    } catch (...) {
+    }
+  }
   if (action() == Action::kAbort) std::abort();
+}
+
+void set_failure_hook(FailureHook hook) noexcept {
+  failure_hook().store(hook, std::memory_order_relaxed);
 }
 
 }  // namespace rshc::check

@@ -42,6 +42,7 @@ void World::deliver(int dest, Message msg) {
     LockGuard lock(box.mutex);
     box.messages.push_back(std::move(msg));
   }
+  introspect::mailbox_depth_counter().fetch_add(1, std::memory_order_relaxed);
   box.cv.notify_all();
 }
 
@@ -66,6 +67,9 @@ World::Message World::take_matching(int me, int source, int tag) {
       if (ready_at <= std::chrono::steady_clock::now()) {
         Message msg = std::move(*match_it);
         box.messages.erase(match_it);
+        introspect::mailbox_depth_counter().fetch_sub(
+            1, std::memory_order_relaxed);
+        introspect::received_counter().fetch_add(1, std::memory_order_relaxed);
         return msg;
       }
       box.cv.wait_until(lock.native_lock(), ready_at);

@@ -41,4 +41,24 @@ void write(Level lvl, std::string_view msg) {
                static_cast<int>(msg.size()), msg.data());
 }
 
+std::int64_t RateLimit::acquire() noexcept {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  std::int64_t next = next_ns_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (now < next) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return -1;
+    }
+    // Claim the window [now, now + interval); a losing CAS re-reads `next`
+    // and either finds the winner's window (suppress) or retries.
+    if (next_ns_.compare_exchange_weak(next, now + interval_ns_,
+                                       std::memory_order_relaxed)) {
+      return suppressed_.exchange(0, std::memory_order_relaxed);
+    }
+  }
+}
+
 }  // namespace rshc::log

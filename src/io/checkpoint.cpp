@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "rshc/obs/journal.hpp"
+
 namespace rshc::io {
 namespace {
 
@@ -59,6 +61,7 @@ void write_checkpoint(const std::string& path,
     }
   }
   RSHC_REQUIRE(f.good(), "checkpoint write failed: " + path);
+  obs::journal::checkpoint(path, s.time());
 }
 
 template <typename Physics>

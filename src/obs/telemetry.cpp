@@ -1,0 +1,469 @@
+#include "rshc/obs/telemetry.hpp"
+
+// With RSHC_OBS=OFF this TU compiles to an empty object (the header
+// provides inline no-op stubs); the CI obs-off nm lane checks that.
+#if RSHC_OBS_ENABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "rshc/comm/communicator.hpp"
+#include "rshc/obs/journal.hpp"
+#include "rshc/obs/trace.hpp"
+#include "rshc/parallel/task_graph.hpp"
+#include "rshc/parallel/thread_pool.hpp"
+
+namespace rshc::obs::telemetry {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+bool env_off(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  return s == "0" || s == "off" || s == "OFF" || s == "false";
+}
+
+// Last heartbeat: low-frequency writes; mutex and payload travel together
+// so the guarded-by relation is expressible.
+struct HbState {
+  Mutex mutex;
+  Heartbeat hb RSHC_GUARDED_BY(mutex);
+};
+
+HbState& hb_state() {
+  static HbState s;
+  return s;
+}
+
+// relaxed: monotonic watchdog progress ticker, eventual visibility only.
+std::atomic<std::uint64_t> g_hb_ticks{0};
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<std::string> default_counter_tracks() {
+  return {"device.h2d.bytes",  "device.d2h.bytes",
+          "halo.bytes_sent",   "comm.bytes_sent",
+          "solver.hb.step",    "solver.hb.zones_per_sec",
+          "pool.queue_depth"};
+}
+
+SamplerOptions sampler_options_from_env() {
+  SamplerOptions opt;
+  opt.enabled = !env_off("RSHC_TELEMETRY");
+  opt.interval = std::chrono::milliseconds(std::max(
+      1, env_int("RSHC_TELEMETRY_INTERVAL_MS", kDefaultIntervalMs)));
+  const char* out = std::getenv("RSHC_TELEMETRY_OUT");
+  if (out != nullptr) opt.jsonl_path = out;
+  opt.counter_tracks = default_counter_tracks();
+  return opt;
+}
+
+WatchdogPolicy parse_watchdog_policy(std::string_view s) {
+  if (s.empty() || s == "0" || s == "off" || s == "OFF" || s == "false") {
+    return WatchdogPolicy::kOff;
+  }
+  if (s == "fatal" || s == "FATAL") return WatchdogPolicy::kFatal;
+  return WatchdogPolicy::kWarn;
+}
+
+WatchdogOptions watchdog_options_from_env() {
+  WatchdogOptions opt;
+  const char* v = std::getenv("RSHC_WATCHDOG");
+  opt.policy =
+      v == nullptr ? WatchdogPolicy::kOff : parse_watchdog_policy(v);
+  opt.timeout = std::chrono::milliseconds(std::max(
+      1, env_int("RSHC_WATCHDOG_TIMEOUT_MS", kDefaultWatchdogTimeoutMs)));
+  return opt;
+}
+
+void publish_heartbeat(std::int64_t step, double t, double dt,
+                       double zones_per_sec) noexcept {
+  if (!enabled()) return;
+  // noexcept: first-use metric registration can allocate; dropping one
+  // heartbeat beats terminating the solver step that published it.
+  try {
+    Registry* reg = Registry::scoped();
+    if (reg == nullptr) reg = &Registry::global();
+    Heartbeat hb;
+    hb.step = step;
+    hb.t = t;
+    hb.dt = dt;
+    hb.zones_per_sec = zones_per_sec;
+    // Halo traffic is counted in the publishing rank's registry; device
+    // transfers are counted by unscoped stream-worker threads, i.e. in
+    // the global registry.
+    hb.halo_bytes =
+        static_cast<double>(reg->counter("halo.bytes_sent").total());
+    hb.h2d_bytes = static_cast<double>(
+        Registry::global().counter("device.h2d.bytes").total());
+    hb.d2h_bytes = static_cast<double>(
+        Registry::global().counter("device.d2h.bytes").total());
+    reg->gauge("solver.hb.step").set(static_cast<double>(step));
+    reg->gauge("solver.hb.t").set(t);
+    reg->gauge("solver.hb.dt").set(dt);
+    reg->gauge("solver.hb.zones_per_sec").set(zones_per_sec);
+    reg->gauge("solver.hb.mlups").set(zones_per_sec / 1e6);
+    reg->gauge("solver.hb.halo_bytes").set(hb.halo_bytes);
+    reg->gauge("solver.hb.h2d_bytes").set(hb.h2d_bytes);
+    reg->gauge("solver.hb.d2h_bytes").set(hb.d2h_bytes);
+    {
+      HbState& s = hb_state();
+      LockGuard lock(s.mutex);
+      s.hb = hb;
+    }
+    g_hb_ticks.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+  }
+}
+
+std::uint64_t heartbeat_ticks() noexcept {
+  return g_hb_ticks.load(std::memory_order_relaxed);
+}
+
+Heartbeat last_heartbeat() {
+  HbState& s = hb_state();
+  LockGuard lock(s.mutex);
+  return s.hb;
+}
+
+// --- Sampler ---------------------------------------------------------
+
+Sampler::Sampler(SamplerOptions opt) : opt_(std::move(opt)) {
+  if (opt_.enabled && !opt_.jsonl_path.empty()) open_stream();
+}
+
+Sampler::~Sampler() {
+  stop();
+  LockGuard lock(mutex_);
+  if (stream_open_) os_.close();
+  stream_open_ = false;
+}
+
+void Sampler::open_stream() {
+  namespace fs = std::filesystem;
+  const fs::path parent = fs::path(opt_.jsonl_path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+  std::string line;
+  line += "{\"schema\":\"";
+  line += kSchemaName;
+  line += "\",\"v\":";
+  line += std::to_string(kSchemaVersion);
+  line += ",\"kind\":\"config\",\"interval_ms\":";
+  line += std::to_string(opt_.interval.count());
+  line += ",\"ring_capacity\":";
+  line += std::to_string(opt_.ring_capacity);
+  line += ",\"ts_ms\":";
+  append_double(line, static_cast<double>(now_ns()) / 1e6);
+  line += '}';
+  LockGuard lock(mutex_);
+  os_.open(opt_.jsonl_path, std::ios::trunc);
+  stream_open_ = os_.good();
+  if (stream_open_) {
+    os_ << line << '\n';
+    os_.flush();
+  }
+}
+
+void Sampler::attach_registry(int pid, const Registry* reg) {
+  LockGuard lock(mutex_);
+  extra_.emplace_back(pid, reg);
+}
+
+void Sampler::detach_registries() {
+  LockGuard lock(mutex_);
+  extra_.clear();
+}
+
+void Sampler::sample_now() {
+  std::vector<std::pair<int, const Registry*>> regs;
+  regs.emplace_back(0, &Registry::global());
+  {
+    LockGuard lock(mutex_);
+    regs.insert(regs.end(), extra_.begin(), extra_.end());
+  }
+  const std::int64_t ts = now_ns() / 1'000'000;
+  const Heartbeat hb = last_heartbeat();
+  const std::uint64_t ticks = heartbeat_ticks();
+
+  std::vector<Sample> taken;
+  taken.reserve(regs.size());
+  for (const auto& [pid, reg] : regs) {
+    Sample s;
+    s.ts_ms = ts;
+    s.pid = pid;
+    s.snapshot = reg->snapshot();
+    taken.push_back(std::move(s));
+  }
+
+  // Counter-event emission happens outside mutex_ (the tracer takes its
+  // own locks; keeping the two lock families un-nested keeps the process
+  // lock-order graph trivially acyclic).
+  if (tracing_active()) {
+    for (const Sample& s : taken) {
+      for (const std::string& name : opt_.counter_tracks) {
+        if (const Snapshot::Entry* e = s.snapshot.find(name)) {
+          Tracer::global().record_counter(name, "telemetry", e->value, s.pid);
+        }
+      }
+    }
+  }
+
+  LockGuard lock(mutex_);
+  for (Sample& s : taken) {
+    s.seq = seq_++;
+    if (stream_open_) {
+      std::string line;
+      line.reserve(512);
+      line += "{\"schema\":\"";
+      line += kSchemaName;
+      line += "\",\"v\":";
+      line += std::to_string(kSchemaVersion);
+      line += ",\"kind\":\"sample\",\"seq\":";
+      line += std::to_string(s.seq);
+      line += ",\"ts_ms\":";
+      line += std::to_string(s.ts_ms);
+      line += ",\"pid\":";
+      line += std::to_string(s.pid);
+      line += ",\"hb\":{\"step\":";
+      line += std::to_string(hb.step);
+      line += ",\"t\":";
+      append_double(line, hb.t);
+      line += ",\"dt\":";
+      append_double(line, hb.dt);
+      line += ",\"zones_per_sec\":";
+      append_double(line, hb.zones_per_sec);
+      line += ",\"ticks\":";
+      line += std::to_string(ticks);
+      line += "},\"metrics\":{";
+      bool first = true;
+      for (const Snapshot::Entry& e : s.snapshot.entries) {
+        if (!first) line += ',';
+        first = false;
+        line += '"';
+        journal::append_json_escaped(line, e.name);
+        line += "\":";
+        append_double(line, e.value);
+      }
+      line += "}}";
+      os_ << line << '\n';
+    }
+    if (opt_.ring_capacity > 0) {
+      if (ring_.size() < opt_.ring_capacity) {
+        ring_.push_back(std::move(s));
+      } else {
+        ring_[ring_next_] = std::move(s);
+        ring_next_ = (ring_next_ + 1) % opt_.ring_capacity;
+      }
+      ++ring_written_;
+    }
+  }
+  if (stream_open_) os_.flush();
+  taken_.fetch_add(static_cast<std::int64_t>(taken.size()),
+                   std::memory_order_relaxed);
+}
+
+std::vector<Sample> Sampler::samples() const {
+  LockGuard lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  // Oldest-first: when wrapped, the oldest live sample sits at ring_next_.
+  const std::size_t n = ring_.size();
+  const std::size_t start = ring_written_ > n ? ring_next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % n]);
+  }
+  return out;
+}
+
+std::int64_t Sampler::samples_taken() const noexcept {
+  return taken_.load(std::memory_order_relaxed);
+}
+
+void Sampler::start() {
+  if (!opt_.enabled || thread_.joinable()) return;
+  {
+    LockGuard lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() noexcept {
+  // noexcept: shutdown path; sampling failure must not escape.
+  try {
+    if (!thread_.joinable()) return;
+    {
+      LockGuard lock(mutex_);
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    // One final sample so short runs always record their end state.
+    sample_now();
+  } catch (...) {
+  }
+}
+
+void Sampler::loop() {
+  // Thread entry: swallow rather than terminate on a sampling failure.
+  try {
+    for (;;) {
+      {
+        LockGuard lock(mutex_);
+        cv_.wait_for(lock.native_lock(), opt_.interval, [this] {
+          mutex_.assert_held();  // predicate runs under the wait's lock
+          return stop_requested_;
+        });
+        if (stop_requested_) return;
+      }
+      sample_now();
+    }
+  } catch (...) {
+  }
+}
+
+// --- Watchdog --------------------------------------------------------
+
+Watchdog::Watchdog(WatchdogOptions opt)
+    : opt_(opt),
+      // Warn-mode log output at most once per stall window (and never
+      // more often than once a second); the journal records every firing.
+      warn_limit_(std::chrono::milliseconds(
+          std::max<long long>(opt.timeout.count(), 1000))) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::uint64_t Watchdog::progress_signal() noexcept {
+  return heartbeat_ticks() +
+         static_cast<std::uint64_t>(
+             parallel::introspect::graph_nodes_finished()) +
+         static_cast<std::uint64_t>(
+             parallel::introspect::pool_tasks_finished()) +
+         static_cast<std::uint64_t>(comm::introspect::messages_received());
+}
+
+std::int64_t Watchdog::pending_work() noexcept {
+  return parallel::introspect::pending_graph_nodes() +
+         comm::introspect::mailbox_depth();
+}
+
+std::int64_t Watchdog::stalls_detected() const noexcept {
+  return stalls_.load(std::memory_order_relaxed);
+}
+
+void Watchdog::start() {
+  if (opt_.policy == WatchdogPolicy::kOff || thread_.joinable()) return;
+  {
+    LockGuard lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() noexcept {
+  // noexcept: shutdown path (same policy as Sampler::stop).
+  try {
+    if (!thread_.joinable()) return;
+    {
+      LockGuard lock(mutex_);
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  } catch (...) {
+  }
+}
+
+void Watchdog::loop() {
+  // Thread entry: swallow rather than terminate on a diagnostic failure.
+  try {
+    const auto poll =
+        opt_.poll.count() > 0
+            ? opt_.poll
+            : std::max(std::chrono::milliseconds(10), opt_.timeout / 4);
+    std::uint64_t last_progress = progress_signal();
+    auto last_change = std::chrono::steady_clock::now();
+    for (;;) {
+      {
+        LockGuard lock(mutex_);
+        cv_.wait_for(lock.native_lock(), poll, [this] {
+          mutex_.assert_held();  // predicate runs under the wait's lock
+          return stop_requested_;
+        });
+        if (stop_requested_) return;
+      }
+      const std::uint64_t p = progress_signal();
+      const auto now = std::chrono::steady_clock::now();
+      if (p != last_progress) {
+        last_progress = p;
+        last_change = now;
+        continue;
+      }
+      if (pending_work() <= 0) {
+        // Nothing visibly pending: idle, not stalled.
+        last_change = now;
+        continue;
+      }
+      const auto idle = now - last_change;
+      if (idle >= opt_.timeout) {
+        fire(std::chrono::duration_cast<std::chrono::milliseconds>(idle)
+                 .count());
+        // Re-arm: the next firing needs another full quiet timeout.
+        last_change = now;
+      }
+    }
+  } catch (...) {
+  }
+}
+
+void Watchdog::fire(std::int64_t idle_ms) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  const Heartbeat hb = last_heartbeat();
+  const std::int64_t pending_nodes =
+      parallel::introspect::pending_graph_nodes();
+  const std::int64_t mailbox_depth = comm::introspect::mailbox_depth();
+  const std::int64_t pool_busy = parallel::introspect::pool_busy_workers();
+  journal::Journal::global().event(
+      "watchdog",
+      {{"idle_ms", idle_ms},
+       {"policy",
+        opt_.policy == WatchdogPolicy::kFatal ? "fatal" : "warn"},
+       {"pending_nodes", pending_nodes},
+       {"mailbox_depth", mailbox_depth},
+       {"pool_busy", pool_busy},
+       {"heartbeat_step", hb.step},
+       {"heartbeat_t", hb.t},
+       {"heartbeat_zones_per_sec", hb.zones_per_sec},
+       journal::Field::raw("registry",
+                           Registry::global().snapshot().to_json())});
+  if (opt_.policy == WatchdogPolicy::kFatal) {
+    log::error("rshc watchdog: no progress for ", idle_ms,
+               " ms with pending work (graph nodes ", pending_nodes,
+               ", mailbox depth ", mailbox_depth,
+               "); aborting (RSHC_WATCHDOG=fatal)");
+    std::abort();
+  }
+  log::warn_limited(warn_limit_, "rshc watchdog: no progress for ", idle_ms,
+                    " ms (pending graph nodes ", pending_nodes,
+                    ", mailbox depth ", mailbox_depth, ", busy workers ",
+                    pool_busy, ")");
+}
+
+}  // namespace rshc::obs::telemetry
+
+#endif  // RSHC_OBS_ENABLED

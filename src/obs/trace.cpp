@@ -129,6 +129,31 @@ void Tracer::record_flow(const char* name, const char* cat,
   ring.push(ev);
 }
 
+const char* Tracer::intern_name(std::string_view name) {
+  LockGuard lock(mutex_);
+  auto it = interned_.find(name);
+  if (it == interned_.end()) it = interned_.emplace(name).first;
+  return it->c_str();
+}
+
+void Tracer::record_counter(std::string_view name, const char* cat,
+                            double value, int pid) {
+  // Intern first (takes mutex_), then push (takes only the ring's mutex):
+  // the documented mutex_ -> Ring::mutex order is never inverted.
+  const char* interned = intern_name(name);
+  Ring& ring = my_ring();
+  TraceEvent ev;
+  ev.name = interned;
+  ev.cat = cat;
+  ev.value = value;
+  ev.t0_ns = now_ns();
+  ev.t1_ns = ev.t0_ns;
+  ev.tid = ring.tid;
+  ev.pid = pid >= 0 ? pid : tl_thread_rank;
+  ev.kind = EventKind::kCounter;
+  ring.push(ev);
+}
+
 void Tracer::set_process_name(int pid, std::string name) {
   LockGuard lock(mutex_);
   process_names_[pid] = std::move(name);
@@ -230,6 +255,16 @@ void Tracer::write_chrome_json(std::ostream& os) const {
                     static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3);
       os << buf;
       if (ev.id >= 0) os << ",\"args\":{\"id\":" << ev.id << "}";
+    } else if (ev.kind == EventKind::kCounter) {
+      // Counter track: Perfetto plots args values against ts on the pid's
+      // process track, lining metric samples up with the phase spans.
+      os << ",\"ph\":\"C\",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                    static_cast<double>(ev.t0_ns) / 1e3);
+      os << buf;
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.17g}",
+                    ev.value);
+      os << buf;
     } else {
       // Flow endpoints bind to the span enclosing their timestamp on the
       // same (pid, tid) track; bp:"e" attaches the end to the enclosing

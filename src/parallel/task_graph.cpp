@@ -33,6 +33,8 @@ void TaskGraph::finish_node(ThreadPool& pool, NodeId id) {
     if (!error_) error_ = std::current_exception();
   }
   RSHC_OBS_COUNT("graph.nodes_run", 1);
+  introspect::graph_finished_counter().fetch_add(1, std::memory_order_relaxed);
+  introspect::graph_pending_counter().fetch_sub(1, std::memory_order_relaxed);
   release_dependents(pool, id);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     done_.set_value();
@@ -59,6 +61,8 @@ void TaskGraph::run(ThreadPool& pool) {
   for (auto& n : nodes_) n.fired.store(0, std::memory_order_relaxed);
 #endif
   remaining_.store(nodes_.size(), std::memory_order_relaxed);
+  introspect::graph_pending_counter().fetch_add(
+      static_cast<long long>(nodes_.size()), std::memory_order_relaxed);
   done_ = std::promise<void>();
   {
     LockGuard lock(error_mutex_);

@@ -55,10 +55,14 @@ void ThreadPool::worker_loop(const std::stop_token& st) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    introspect::pool_busy_counter().fetch_add(1, std::memory_order_relaxed);
     {
       RSHC_TRACE_SCOPE("pool.task", "pool", -1);
       task();
     }
+    introspect::pool_busy_counter().fetch_sub(1, std::memory_order_relaxed);
+    introspect::pool_finished_counter().fetch_add(1,
+                                                  std::memory_order_relaxed);
     RSHC_OBS_COUNT("pool.tasks", 1);
   }
 }

@@ -32,6 +32,23 @@ HostPipeline parse_host_pipeline(std::string_view name) {
   return HostPipeline::kPencil;  // unreachable
 }
 
+#if RSHC_OBS_ENABLED
+namespace {
+// Heartbeat throughput: interior zone-updates per second over the step(s)
+// just taken (zones x RK stages x steps / elapsed), the "zones/sec" the
+// live telemetry reports and perf_report turns into MLUPS.
+double heartbeat_zone_rate(const mesh::Grid& g, int stages, long long nsteps,
+                           double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  const double zones = static_cast<double>(g.extent(0)) *
+                       static_cast<double>(g.extent(1)) *
+                       static_cast<double>(g.extent(2));
+  return zones * static_cast<double>(stages) *
+         static_cast<double>(nsteps) / seconds;
+}
+}  // namespace
+#endif
+
 // Per-block work arrays, sized once for the longest axis. The pencil path
 // uses the single-pencil q/ql/qr; the batched path reconstructs
 // core::kTileRows pencils per call through the shared BatchScratch tiles
@@ -513,21 +530,31 @@ template <typename Physics>
 void FvSolver<Physics>::step(double dt) {
   RSHC_OBS_PHASE("solver.step", "solver", -1);
   RSHC_OBS_COUNT("solver.steps", 1);
+#if RSHC_OBS_ENABLED
+  const WallTimer hb_timer;
+#endif
   if (opt_.pipeline == HostPipeline::kDevice) {
     step_device(dt);
-    return;
+  } else {
+    current_dt_ = dt;
+    WallTimer t;
+    save_state();
+    phases_.other += t.seconds();
+    for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
+      stage_serial(s, dt);
+    }
+    t.reset();
+    post_step_all();
+    phases_.other += t.seconds();
+    time_ += dt;
   }
-  current_dt_ = dt;
-  WallTimer t;
-  save_state();
-  phases_.other += t.seconds();
-  for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
-    stage_serial(s, dt);
-  }
-  t.reset();
-  post_step_all();
-  phases_.other += t.seconds();
-  time_ += dt;
+  ++steps_taken_;
+#if RSHC_OBS_ENABLED
+  RSHC_OBS_HEARTBEAT(steps_taken_, time_, dt,
+                     heartbeat_zone_rate(grid_,
+                                         time::num_stages(opt_.integrator),
+                                         1, hb_timer.seconds()));
+#endif
 }
 
 template <typename Physics>
@@ -538,30 +565,40 @@ void FvSolver<Physics>::step_parallel(double dt, parallel::ThreadPool& pool,
                "use step() or set_pipeline() first");
   RSHC_OBS_PHASE("solver.step", "solver", -1);
   RSHC_OBS_COUNT("solver.steps", 1);
+#if RSHC_OBS_ENABLED
+  const WallTimer hb_timer;
+#endif
   if (dataflow) {
     current_dt_ = dt;
     save_state();
     step_graph(1).run(pool);
     post_step_all();
     time_ += dt;
-    return;
+  } else {
+    // Bulk-synchronous: a barrier after every phase of every stage.
+    current_dt_ = dt;
+    save_state();
+    const int nb = num_blocks();
+    for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
+      const auto coeffs = time::stage_coeffs(opt_.integrator, s);
+      pool.parallel_for(0, nb, [&](long long b) {
+        exchange_block(static_cast<int>(b));
+      });
+      pool.parallel_for(0, nb, [&](long long b) {
+        compute_rhs(static_cast<int>(b));
+        update_block(static_cast<int>(b), coeffs, dt);
+      });
+    }
+    post_step_all();
+    time_ += dt;
   }
-  // Bulk-synchronous: a barrier after every phase of every stage.
-  current_dt_ = dt;
-  save_state();
-  const int nb = num_blocks();
-  for (int s = 0; s < time::num_stages(opt_.integrator); ++s) {
-    const auto coeffs = time::stage_coeffs(opt_.integrator, s);
-    pool.parallel_for(0, nb, [&](long long b) {
-      exchange_block(static_cast<int>(b));
-    });
-    pool.parallel_for(0, nb, [&](long long b) {
-      compute_rhs(static_cast<int>(b));
-      update_block(static_cast<int>(b), coeffs, dt);
-    });
-  }
-  post_step_all();
-  time_ += dt;
+  ++steps_taken_;
+#if RSHC_OBS_ENABLED
+  RSHC_OBS_HEARTBEAT(steps_taken_, time_, dt,
+                     heartbeat_zone_rate(grid_,
+                                         time::num_stages(opt_.integrator),
+                                         1, hb_timer.seconds()));
+#endif
 }
 
 template <typename Physics>
@@ -654,6 +691,9 @@ void FvSolver<Physics>::run_steps_dataflow(int nsteps, double dt,
                "use step() or set_pipeline() first");
   RSHC_TRACE_SCOPE("solver.run_steps_dataflow", "solver", nsteps);
   RSHC_OBS_COUNT("solver.steps", nsteps);
+#if RSHC_OBS_ENABLED
+  const WallTimer hb_timer;
+#endif
   current_dt_ = dt;
   // save_state happens inside the first-stage E nodes (per block).
   step_graph(nsteps).run(pool);
@@ -661,6 +701,15 @@ void FvSolver<Physics>::run_steps_dataflow(int nsteps, double dt,
   for (const auto& bs : block_stats_) stats_ += bs;
   for (auto& bs : block_stats_) bs = {};
   time_ += dt * nsteps;
+  steps_taken_ += nsteps;
+#if RSHC_OBS_ENABLED
+  // One heartbeat for the whole burst (there is no per-step boundary in
+  // the fused graph); the rate still averages over every step taken.
+  RSHC_OBS_HEARTBEAT(steps_taken_, time_, dt,
+                     heartbeat_zone_rate(grid_,
+                                         time::num_stages(opt_.integrator),
+                                         nsteps, hb_timer.seconds()));
+#endif
 }
 
 template <typename Physics>

@@ -38,6 +38,7 @@ inline std::vector<std::string> validate_chrome_trace(const JsonValue& root) {
   using Track = std::pair<int, int>;  // (pid, tid)
   std::set<int> span_pids;
   std::set<Track> span_tracks;
+  std::set<int> counter_pids;
   std::set<int> named_pids;
   std::set<Track> named_tracks;
   // Spans per track in emission (= begin-time) order, as (ts, end).
@@ -97,6 +98,23 @@ inline std::vector<std::string> validate_chrome_trace(const JsonValue& root) {
       span_pids.insert(pid);
       span_tracks.insert({pid, tid});
       spans[{pid, tid}].emplace_back(ts, ts + dur);
+    } else if (ph == "C") {
+      // Counter samples: a name to group the track by, a finite numeric
+      // args.value. Counters do not join span nesting and their (pid, tid)
+      // track needs no thread_name metadata (Perfetto keys them by name).
+      if (e.at("name").string.empty()) {
+        problem("counter event with an empty name");
+      }
+      if (e.has("dur")) {
+        problem("counter '" + e.at("name").string + "' carries a dur");
+      }
+      const JsonValue& value = e.at("args").at("value");
+      if (value.kind != JsonValue::Kind::kNumber ||
+          !std::isfinite(value.number)) {
+        problem("counter '" + e.at("name").string +
+                "' has no finite numeric args.value");
+      }
+      counter_pids.insert(pid);
     } else if (ph == "s" || ph == "f") {
       auto& slot = (ph == "s" ? flow_starts
                               : flow_ends)[static_cast<long long>(
@@ -178,7 +196,14 @@ inline std::vector<std::string> validate_chrome_trace(const JsonValue& root) {
     }
   }
 
-  // Every track that carries spans is labeled.
+  // Every track that carries spans is labeled. Counter tracks only need
+  // the process-level label (Perfetto groups them by counter name).
+  for (const int pid : counter_pids) {
+    if (named_pids.find(pid) == named_pids.end()) {
+      problem("counter pid " + std::to_string(pid) + " has no "
+              "process_name metadata");
+    }
+  }
   for (const int pid : span_pids) {
     if (named_pids.find(pid) == named_pids.end()) {
       problem("pid " + std::to_string(pid) + " has no process_name "

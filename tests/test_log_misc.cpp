@@ -41,6 +41,39 @@ TEST(Log, EmitsAboveThreshold) {
   log::set_level(before);
 }
 
+TEST(Log, RateLimitFirstCallPassesThenSuppresses) {
+  log::RateLimit limit(std::chrono::milliseconds(60'000));
+  // First acquisition owns the window and reports nothing suppressed.
+  EXPECT_EQ(limit.acquire(), 0);
+  // Everything inside the window stays silent and is counted.
+  EXPECT_EQ(limit.acquire(), -1);
+  EXPECT_EQ(limit.acquire(), -1);
+  EXPECT_EQ(limit.suppressed(), 2);
+}
+
+TEST(Log, RateLimitReportsSuppressedCountAfterWindow) {
+  log::RateLimit limit(std::chrono::milliseconds(20));
+  EXPECT_EQ(limit.acquire(), 0);
+  EXPECT_EQ(limit.acquire(), -1);
+  EXPECT_EQ(limit.acquire(), -1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The window expired: the next call is allowed and carries the count of
+  // what was dropped, which also resets.
+  EXPECT_EQ(limit.acquire(), 2);
+  EXPECT_EQ(limit.suppressed(), 0);
+  EXPECT_EQ(limit.acquire(), -1);
+}
+
+TEST(Log, WarnLimitedFormatsWithoutThrowing) {
+  const auto before = log::level();
+  log::set_level(log::Level::kOff);  // exercise the gate, keep output quiet
+  log::RateLimit limit(std::chrono::milliseconds(0));
+  for (int i = 0; i < 3; ++i) {
+    log::warn_limited(limit, "repeated warning ", i);
+  }
+  log::set_level(before);
+}
+
 TEST(Event, SetBeforeWaitDoesNotBlock) {
   device::Event e;
   EXPECT_FALSE(e.query());

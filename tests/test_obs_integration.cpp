@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "rshc/comm/communicator.hpp"
 #include "rshc/obs/obs.hpp"
 #include "rshc/obs/report.hpp"
+#include "rshc/obs/telemetry.hpp"
 #include "rshc/parallel/thread_pool.hpp"
 #include "rshc/problems/problems.hpp"
 #include "rshc/solver/distributed.hpp"
@@ -284,6 +286,74 @@ TEST_F(ObsIntegration, FourRankTraceHasPairedFlowsAndNamedRanks) {
   // The global registry saw none of it (everything was rank-scoped).
   EXPECT_DOUBLE_EQ(
       obs::Registry::global().snapshot().value_or("halo.bytes_sent"), 0.0);
+}
+
+TEST_F(ObsIntegration, FourRankTraceCarriesTelemetryCounterTracks) {
+  // The live-telemetry sampler re-emits transfer byte counters as ph:"C"
+  // counter events on the rank tracks, so byte flow lines up with the
+  // phase spans on one Perfetto timeline. Driven synchronously via
+  // sample_now() for determinism (no background thread).
+  constexpr int kRanks = 4;
+  const mesh::Grid grid = mesh::Grid::make_2d(32, 32, -0.5, 0.5, -0.5, 0.5);
+  std::array<obs::Registry, kRanks> regs;
+
+  obs::telemetry::SamplerOptions sopt;
+  sopt.counter_tracks = obs::telemetry::default_counter_tracks();
+  obs::telemetry::Sampler sampler(sopt);
+  for (int r = 0; r < kRanks; ++r) {
+    sampler.attach_registry(r, &regs[static_cast<std::size_t>(r)]);
+  }
+
+  obs::set_tracing(true);
+  comm::run_world(kRanks, [&](comm::Communicator& c) {
+    const auto r = static_cast<std::size_t>(c.rank());
+    obs::report::RankScope scope(regs[r], c.rank());
+    solver::DistributedSolver<solver::SrhdPhysics> ds(grid, c, kh_opts());
+    ds.initialize(problems::kelvin_helmholtz_ic({}));
+    for (int i = 0; i < 2; ++i) ds.step(ds.compute_dt());
+  });
+
+  // A small genuine device-pipeline step so the H2D/D2H byte counters
+  // (accumulated in the global registry by the stream workers) are live.
+  {
+    SrhdSolver::Options dopt = sod_opts({2, 1, 1});
+    dopt.pipeline = solver::HostPipeline::kDevice;
+    dopt.accel = {0.0, std::numeric_limits<double>::infinity(), 0.0};
+    SrhdSolver ds(mesh::Grid::make_1d(64, 0.0, 1.0), dopt);
+    ds.initialize(problems::shock_tube_ic(problems::sod()));
+    ds.step(ds.compute_dt());
+  }
+
+  sampler.sample_now();
+  obs::set_tracing(false);
+
+  std::ostringstream os;
+  obs::Tracer::global().write_chrome_json(os);
+  JsonParser parser(os.str());
+  const JsonValue root = parser.parse();
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  const auto problems = testsupport::validate_chrome_trace(root);
+  EXPECT_TRUE(problems.empty()) << ::testing::PrintToString(problems);
+
+  // Counter name -> pids it was sampled on, with the last value seen.
+  std::map<std::string, std::set<int>> counter_pids;
+  std::map<std::string, double> counter_value;
+  for (const auto& e : root.at("traceEvents").array) {
+    if (e.at("ph").string != "C") continue;
+    const std::string& name = e.at("name").string;
+    counter_pids[name].insert(static_cast<int>(e.at("pid").number));
+    counter_value[name] = e.at("args").at("value").number;
+  }
+  // Every rank's halo traffic shows up as a counter sample on its track.
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(counter_pids["halo.bytes_sent"].count(r) == 1)
+        << "no halo.bytes_sent counter sample on rank track " << r;
+  }
+  // Device transfer bytes ride the global (pid 0) track with real totals.
+  EXPECT_TRUE(counter_pids["device.h2d.bytes"].count(0) == 1);
+  EXPECT_TRUE(counter_pids["device.d2h.bytes"].count(0) == 1);
+  EXPECT_GT(counter_value["device.h2d.bytes"], 0.0);
+  EXPECT_GT(counter_value["device.d2h.bytes"], 0.0);
 }
 
 TEST_F(ObsIntegration, RankRollupComputesExactCrossRankStats) {

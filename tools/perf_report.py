@@ -26,10 +26,25 @@ compare [BASELINE] CURRENT [--threshold F] [--min-sum S]
     structural.
 show REPORT
     Human-readable table of the phases and counters.
+timeline TELEMETRY_JSONL [--journal J] [--validate] [--selftest]
+    Validate and summarize a live-telemetry stream (rshc.telemetry v1
+    JSONL from the obs Sampler, schema in include/rshc/obs/telemetry.hpp).
+    Structural checks: leading config record, schema/version on every
+    line, required sample fields, strictly increasing seq, non-decreasing
+    ts_ms, complete heartbeat blocks. The summary reports sample count,
+    steady-state throughput (median of the positive heartbeat zones/sec,
+    in MLUPS), sample gaps (a seq skip, or consecutive take times more
+    than 2.5x the configured interval apart), and — with --journal — the
+    stall count (watchdog events in the rshc.journal stream).
+    --validate stops after the structural checks; --selftest additionally
+    injects a sample gap (must raise the gap count) and a dropped
+    heartbeat (must fail validation) and asserts both are detected.
 selftest REPORT
     Self-check used by ctest (perf_report_selftest): validates REPORT,
     then asserts compare(REPORT, REPORT) passes, an injected 10x slowdown
-    fails with exit 1, and a dropped phase fails with exit 2.
+    fails with exit 1, and a dropped phase fails with exit 2. When the
+    report carries the telemetry steady-throughput counter, its gates are
+    exercised the same way.
 
 Exit codes: 0 = ok, 1 = performance regression, 2 = structural problem
 (invalid/missing file, schema mismatch, missing phase). Keeping the two
@@ -197,6 +212,44 @@ def compare_crossovers(base: dict, cur: dict) -> tuple[list[str], list[str]]:
     return perf, structural
 
 
+# Steady-state solver throughput measured by the live-telemetry sampler
+# (bench/perf_suite.cpp: median of the positive heartbeat zones/sec).
+# Unlike phase means this is a bigger-is-better counter, so the gate is
+# current < baseline / (1 + threshold).
+_STEADY_COUNTER = "perf.telemetry.steady_zones_per_sec"
+
+
+def compare_steady_throughput(base: dict, cur: dict,
+                              threshold: float) -> tuple[list[str], list[str]]:
+    """First-class row for the telemetry steady-throughput counter."""
+    b = counter_map(base).get(_STEADY_COUNTER)
+    c = counter_map(cur).get(_STEADY_COUNTER)
+    perf: list[str] = []
+    structural: list[str] = []
+    if b is None and c is None:
+        return perf, structural
+    if b is None:
+        print(f"perf_report: note: new counter '{_STEADY_COUNTER}' = "
+              f"{c:.3e} (not in baseline)")
+        return perf, structural
+    if c is None:
+        structural.append(f"counter '{_STEADY_COUNTER}' present in baseline "
+                          f"but missing from current report")
+        return perf, structural
+    if b <= 0.0:
+        print(f"  [ ] {_STEADY_COUNTER}: baseline measured no steady "
+              f"throughput; nothing to gate")
+        return perf, structural
+    ratio = c / b
+    bad = c < b / (1.0 + threshold)
+    print(f"  [{'!' if bad else ' '}] {_STEADY_COUNTER}: {b:.3e} -> "
+          f"{c:.3e} zones/s ({ratio - 1.0:+.1%} vs baseline)")
+    if bad:
+        perf.append(f"{_STEADY_COUNTER} dropped to {ratio:.2f}x the "
+                    f"baseline (threshold {1.0 / (1.0 + threshold):.2f}x)")
+    return perf, structural
+
+
 def mean_per_sample(ph: dict) -> float:
     return ph["sum_s"] / ph["count"] if ph["count"] else 0.0
 
@@ -254,11 +307,14 @@ def compare_reports(base: dict, cur: dict, threshold: float,
                                f"(threshold {1.0 + threshold:.2f}x)")
 
     crossover_perf, crossover_structural = compare_crossovers(base, cur)
-    if crossover_structural:
-        for msg in crossover_structural:
+    steady_perf, steady_structural = compare_steady_throughput(
+        base, cur, threshold)
+    if crossover_structural or steady_structural:
+        for msg in crossover_structural + steady_structural:
             print(f"perf_report: STRUCTURAL: {msg}", file=sys.stderr)
         return EXIT_STRUCTURAL
     regressions.extend(crossover_perf)
+    regressions.extend(steady_perf)
 
     if regressions:
         for msg in regressions:
@@ -306,6 +362,205 @@ def cmd_show(args: argparse.Namespace) -> int:
     for name, value in sorted((c["name"], c["value"])
                               for c in rep["counters"]):
         print(f"{name:40s} {value:14.0f}")
+    return EXIT_OK
+
+
+# --- timeline: live-telemetry JSONL ----------------------------------------
+
+TELEMETRY_SCHEMA = "rshc.telemetry"
+TELEMETRY_VERSION = 1
+JOURNAL_SCHEMA = "rshc.journal"
+
+_REQUIRED_SAMPLE = ("seq", "ts_ms", "pid", "hb", "metrics")
+_REQUIRED_HB = ("step", "t", "dt", "zones_per_sec", "ticks")
+
+# A take arriving later than this multiple of the configured interval
+# counts as a sample gap (the sampler thread was starved or wedged).
+_GAP_FACTOR = 2.5
+
+
+def load_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL stream or die with a structural error."""
+    records: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    die_structural(f"{path}:{lineno}: bad JSONL: {exc}")
+    except OSError as exc:
+        die_structural(f"{path}: cannot read telemetry stream: {exc}")
+    return records
+
+
+def validate_timeline(records: list[dict], label: str) -> list[str]:
+    """Structural problems in a telemetry stream (empty = valid)."""
+    problems: list[str] = []
+    if not records:
+        problems.append(f"{label}: empty telemetry stream")
+        return problems
+    config = records[0]
+    if config.get("kind") != "config":
+        problems.append(f"{label}: first record must be the config line, "
+                        f"got kind {config.get('kind')!r}")
+    prev_seq = None
+    prev_ts = None
+    for i, rec in enumerate(records, 1):
+        where = f"{label}: record {i}"
+        if rec.get("schema") != TELEMETRY_SCHEMA:
+            problems.append(f"{where}: schema is {rec.get('schema')!r}, "
+                            f"expected {TELEMETRY_SCHEMA!r}")
+        if rec.get("v") != TELEMETRY_VERSION:
+            problems.append(f"{where}: v is {rec.get('v')!r}, expected "
+                            f"{TELEMETRY_VERSION}")
+        if rec.get("kind") == "config":
+            if i != 1:
+                problems.append(f"{where}: config record after samples")
+            continue
+        if rec.get("kind") != "sample":
+            problems.append(f"{where}: unknown kind {rec.get('kind')!r}")
+            continue
+        missing = [key for key in _REQUIRED_SAMPLE if key not in rec]
+        if missing:
+            problems.append(f"{where}: sample missing {missing}")
+            continue
+        # seq is the global take order: strictly increasing. Skips are
+        # *gaps* (counted by the summary), not structural corruption.
+        if prev_seq is not None and rec["seq"] <= prev_seq:
+            problems.append(f"{where}: seq {rec['seq']} not increasing "
+                            f"(previous {prev_seq})")
+        prev_seq = rec["seq"]
+        if prev_ts is not None and rec["ts_ms"] < prev_ts:
+            problems.append(f"{where}: ts_ms {rec['ts_ms']} decreases "
+                            f"(previous {prev_ts})")
+        prev_ts = rec["ts_ms"]
+        hb_missing = [key for key in _REQUIRED_HB if key not in rec["hb"]]
+        if hb_missing:
+            problems.append(f"{where}: heartbeat missing {hb_missing}")
+        if not isinstance(rec["metrics"], dict):
+            problems.append(f"{where}: metrics is not an object")
+    return problems
+
+
+def timeline_stats(records: list[dict],
+                   journal_records: list[dict]) -> dict:
+    """Summary statistics of a (structurally valid) telemetry stream."""
+    config = next((r for r in records if r.get("kind") == "config"), {})
+    samples = [r for r in records if r.get("kind") == "sample"]
+    interval_ms = config.get("interval_ms", 0)
+
+    rates = sorted(s["hb"]["zones_per_sec"] for s in samples
+                   if s["hb"].get("zones_per_sec", 0) > 0)
+    steady = rates[len(rates) // 2] if rates else 0.0
+
+    # One take samples every attached registry at the same ts, so gap
+    # detection works on distinct take times; seq skips are dropped takes.
+    times = sorted({s["ts_ms"] for s in samples})
+    gaps = 0
+    if interval_ms > 0:
+        gaps += sum(1 for a, b in zip(times, times[1:])
+                    if b - a > _GAP_FACTOR * interval_ms)
+    seqs = sorted(s["seq"] for s in samples)
+    gaps += sum(1 for a, b in zip(seqs, seqs[1:]) if b - a > 1)
+
+    stalls = sum(1 for r in journal_records
+                 if r.get("schema") == JOURNAL_SCHEMA
+                 and r.get("event") == "watchdog")
+    return {
+        "samples": len(samples),
+        "takes": len(times),
+        "interval_ms": interval_ms,
+        "steady_zones_per_sec": steady,
+        "gaps": gaps,
+        "stalls": stalls,
+        "max_step": max((s["hb"].get("step", 0) for s in samples),
+                        default=0),
+    }
+
+
+def print_timeline_summary(stats: dict, label: str,
+                           have_journal: bool) -> None:
+    print(f"perf_report: {label}: {stats['samples']} samples over "
+          f"{stats['takes']} takes (interval {stats['interval_ms']} ms)")
+    print(f"  steady-state throughput: "
+          f"{stats['steady_zones_per_sec'] / 1e6:.3f} MLUPS "
+          f"(median heartbeat, last step {stats['max_step']})")
+    print(f"  sample gaps: {stats['gaps']}")
+    if have_journal:
+        print(f"  stalls journaled: {stats['stalls']}")
+
+
+def timeline_selftest(records: list[dict], journal_records: list[dict],
+                      label: str) -> int:
+    problems = validate_timeline(records, label)
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    samples = [r for r in records if r.get("kind") == "sample"]
+    base_gaps = timeline_stats(records, journal_records)["gaps"]
+
+    # Injected sample gap: delete one middle take; the gap counter (seq
+    # skip and/or stretched take spacing) must move.
+    times = sorted({s["ts_ms"] for s in samples})
+    if len(times) < 4:
+        print(f"perf_report: timeline selftest: only {len(times)} takes; "
+              f"skipping gap injection")
+    else:
+        victim_ts = times[len(times) // 2]
+        gapped = [r for r in records
+                  if r.get("kind") != "sample" or r["ts_ms"] != victim_ts]
+        if validate_timeline(gapped, "gapped"):
+            print("perf_report: timeline selftest: gap injection broke "
+                  "structural validity", file=sys.stderr)
+            return EXIT_STRUCTURAL
+        gapped_gaps = timeline_stats(gapped, journal_records)["gaps"]
+        if gapped_gaps <= base_gaps:
+            print(f"perf_report: timeline selftest: injected sample gap "
+                  f"not detected (gaps {base_gaps} -> {gapped_gaps})",
+                  file=sys.stderr)
+            return EXIT_STRUCTURAL
+
+    # Dropped heartbeat: a sample without its hb block must fail
+    # validation.
+    broken = copy.deepcopy(records)
+    victim = next((r for r in broken if r.get("kind") == "sample"), None)
+    if victim is None:
+        print("perf_report: timeline selftest: no samples to mutate",
+              file=sys.stderr)
+        return EXIT_STRUCTURAL
+    del victim["hb"]
+    if not validate_timeline(broken, "no-heartbeat"):
+        print("perf_report: timeline selftest: dropped heartbeat not "
+              "detected", file=sys.stderr)
+        return EXIT_STRUCTURAL
+
+    print(f"perf_report: timeline selftest OK ({label})")
+    return EXIT_OK
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.telemetry)
+    journal_records = load_jsonl(args.journal) if args.journal else []
+    if args.selftest:
+        return timeline_selftest(records, journal_records, args.telemetry)
+    problems = validate_timeline(records, args.telemetry)
+    if problems:
+        for p in problems:
+            print(f"perf_report: STRUCTURAL: {p}", file=sys.stderr)
+        return EXIT_STRUCTURAL
+    if args.validate:
+        print(f"perf_report: {args.telemetry}: valid telemetry stream "
+              f"({sum(1 for r in records if r.get('kind') == 'sample')} "
+              f"samples)")
+        return EXIT_OK
+    print_timeline_summary(timeline_stats(records, journal_records),
+                           args.telemetry, bool(args.journal))
     return EXIT_OK
 
 
@@ -378,6 +633,33 @@ def cmd_selftest(args: argparse.Namespace) -> int:
                       f"returned {rc}, expected {expected}", file=sys.stderr)
                 return EXIT_STRUCTURAL
 
+    # Telemetry steady-throughput gates, exercised when the report carries
+    # the counter: halving the throughput must trip the perf gate,
+    # dropping the counter is structural.
+    steady = counter_map(rep).get(_STEADY_COUNTER, 0)
+    if steady <= 0:
+        print("perf_report: selftest: no telemetry steady-throughput "
+              "counter; skipping its gate checks")
+    else:
+        halved = copy.deepcopy(rep)
+        for c in halved["counters"]:
+            if c["name"] == _STEADY_COUNTER:
+                c["value"] = steady / 2.0
+        rc = compare_reports(rep, halved, 0.30, 1e-4)
+        if rc != EXIT_PERF:
+            print(f"perf_report: selftest: halved steady throughput "
+                  f"returned {rc}, expected {EXIT_PERF}", file=sys.stderr)
+            return EXIT_STRUCTURAL
+        dropped_ctr = copy.deepcopy(rep)
+        dropped_ctr["counters"] = [c for c in dropped_ctr["counters"]
+                                   if c["name"] != _STEADY_COUNTER]
+        rc = compare_reports(rep, dropped_ctr, 0.30, 1e-4)
+        if rc != EXIT_STRUCTURAL:
+            print(f"perf_report: selftest: dropped steady-throughput "
+                  f"counter returned {rc}, expected {EXIT_STRUCTURAL}",
+                  file=sys.stderr)
+            return EXIT_STRUCTURAL
+
     print(f"perf_report: selftest OK ({args.report})")
     return EXIT_OK
 
@@ -411,6 +693,19 @@ def main(argv: list[str]) -> int:
     p = sub.add_parser("show", help="print a report as a table")
     p.add_argument("report")
     p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("timeline",
+                       help="validate/summarize a telemetry JSONL stream")
+    p.add_argument("telemetry", help="rshc.telemetry v1 JSONL stream")
+    p.add_argument("--journal", default=None,
+                   help="rshc.journal v1 JSONL stream (enables the stall "
+                        "count)")
+    p.add_argument("--validate", action="store_true",
+                   help="structural checks only, no summary")
+    p.add_argument("--selftest", action="store_true",
+                   help="assert an injected sample gap and a dropped "
+                        "heartbeat are detected")
+    p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("selftest", help="ctest: gate logic sanity checks")
     p.add_argument("report")
