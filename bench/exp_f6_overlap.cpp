@@ -3,13 +3,17 @@
 // count grows at fixed problem size — more blocks means more pipelining
 // opportunity for dataflow and more barrier overhead for bulk-sync.
 // Part B (message passing): distributed stepping under injected
-// per-message latency; cost per step grows with latency since the rank
-// loop cannot hide synchronous halo waits (the motivating gap that
-// futurized runtimes close).
+// per-message latency, synchronous vs latency-hiding exchange. The sync
+// schedule pays every halo wait on the critical path, so its cost per
+// step grows linearly with latency; the overlapped schedule computes the
+// ghost-free interior while messages fly and only waits for the
+// remainder, so its latency slope is much shallower. Both columns step
+// the same bitwise-identical numerics (tests/test_overlap.cpp).
 //
 // Expected shape: A — dataflow's advantage grows with block count
-// (muted on this 1-core host); B — time/step grows roughly linearly with
-// injected latency at fixed message count.
+// (muted on this 1-core host); B — sync time/step grows roughly linearly
+// with injected latency while overlap's growth is mostly hidden
+// (overlap_speedup rising with latency).
 
 #include "rshc/parallel/thread_pool.hpp"
 #include "rshc/solver/distributed.hpp"
@@ -53,12 +57,12 @@ int main() {
   }
   bench::emit(a, "f6a_overlap_blocks");
 
-  // --- Part B: injected message latency --------------------------------
-  Table b({"latency_us", "sec_per_step", "messages_per_step",
-           "latency_share"});
+  // --- Part B: injected message latency, sync vs overlapped -------------
+  Table b({"latency_us", "sync_sec_per_step", "overlap_sec_per_step",
+           "overlap_speedup", "messages_per_step"});
   b.set_title("F6b: distributed step cost vs injected per-message latency "
-              "(4 ranks, 96^2)");
-  for (const double latency_us : {0.0, 50.0, 200.0, 500.0}) {
+              "(4 ranks, 96^2, sync vs latency-hiding exchange)");
+  for (const double latency_us : {0.0, 250.0, 1000.0, 2000.0}) {
     const mesh::Grid grid = mesh::Grid::make_2d(kN, kN, -0.5, 0.5, -0.5, 0.5);
     solver::DistributedSrhdSolver::Options opt;
     opt.recon = recon::Method::kPLMMC;
@@ -68,27 +72,30 @@ int main() {
 
     comm::TransferModel model;
     model.latency_sec = latency_us * 1e-6;
-    comm::World world(4, model);
-    WallTimer t;
-    {
-      std::vector<std::jthread> threads;
-      for (int r = 0; r < 4; ++r) {
-        threads.emplace_back([&world, &grid, &opt, dt, r] {
-          auto c = world.communicator(r);
-          solver::DistributedSrhdSolver s(grid, c, opt);
-          s.initialize(problems::kelvin_helmholtz_ic({}));
-          for (int i = 0; i < kSteps; ++i) s.step(dt);
-        });
+
+    double msgs_per_step = 0.0;
+    auto run = [&](bool overlap) {
+      comm::World world(4, model);
+      WallTimer t;
+      {
+        std::vector<std::jthread> threads;
+        for (int r = 0; r < 4; ++r) {
+          threads.emplace_back([&world, &grid, &opt, dt, overlap, r] {
+            auto c = world.communicator(r);
+            solver::DistributedSrhdSolver s(grid, c, opt);
+            s.set_overlap(overlap);
+            s.initialize(problems::kelvin_helmholtz_ic({}));
+            for (int i = 0; i < kSteps; ++i) s.step(dt);
+          });
+        }
       }
-    }
-    const double per_step = t.seconds() / kSteps;
-    const double msgs_per_step =
-        static_cast<double>(world.total_messages()) / kSteps;
-    // Latency a rank actually waits on per step: one message per recv in
-    // its own critical path (2 axes x 2 sides x 3 stages).
-    const double critical_waits = 12.0;
-    b.add_row({latency_us, per_step, msgs_per_step,
-               critical_waits * latency_us * 1e-6 / per_step});
+      msgs_per_step = static_cast<double>(world.total_messages()) / kSteps;
+      return t.seconds() / kSteps;
+    };
+    const double sync_step = run(false);
+    const double overlap_step = run(true);
+    b.add_row({latency_us, sync_step, overlap_step, sync_step / overlap_step,
+               msgs_per_step});
   }
   bench::emit(b, "f6b_overlap_latency");
   return 0;

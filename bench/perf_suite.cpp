@@ -251,6 +251,78 @@ solver::SrhdSolver::Options kh_options() {
   return opt;
 }
 
+/// Experiment F6b distilled into one report counter:
+///
+///   perf.f6.overlap_efficiency — how much shallower the latency-hiding
+///       exchange's time-per-step slope vs injected message latency is
+///       than the synchronous schedule's, in percent. Both schedules run
+///       the same 4-rank KH workload at zero and at kLatency injected
+///       per-message latency; slope = (t_lat - t_0) / latency per
+///       schedule, efficiency = 100 * slope_sync / slope_overlap. 200
+///       means the overlapped schedule absorbs half the latency the sync
+///       schedule pays; the acceptance bar for the overlap work is >= 200.
+///
+/// Values are clamped to [100, 10000]: 100 (parity) when the sync slope
+/// is noise-dominated, 10000 when the overlapped slope is too small to
+/// measure — keeping the counter finite and the comparator's
+/// bigger-is-better gate meaningful on shared runners.
+void run_f6_overlap(bool quick) {
+  // The grid stays at 48^2 even in quick mode: the interior work per RK
+  // stage is what hides the injected latency, and shrinking it below the
+  // latency window turns the counter into a noise measurement.
+  const long long n = 48;
+  const int steps = quick ? 6 : 10;
+  const int reps = quick ? 2 : 3;
+  constexpr double kLatency = 500e-6;
+  const mesh::Grid grid = mesh::Grid::make_2d(n, n, -0.5, 0.5, -0.5, 0.5);
+  const auto opt = kh_options();
+  const double dt = 0.1 / static_cast<double>(n);
+
+  auto per_step = [&](bool overlap, double latency_sec) {
+    comm::TransferModel model;
+    model.latency_sec = latency_sec;
+    // Throwaway per-rank registries keep these extra solver runs out of
+    // the report's solver.phase.* rows (workload 2 owns those).
+    std::array<obs::Registry, kRanks> scratch;
+    WallTimer t;
+    comm::run_world(
+        kRanks,
+        [&](comm::Communicator& comm) {
+          obs::ScopedRegistry scope(
+              scratch[static_cast<std::size_t>(comm.rank())]);
+          solver::DistributedSrhdSolver s(grid, comm, opt);
+          s.set_overlap(overlap);
+          s.initialize(problems::kelvin_helmholtz_ic({}));
+          for (int i = 0; i < steps; ++i) s.step(dt);
+        },
+        model);
+    return t.seconds() / steps;
+  };
+  auto best_per_step = [&](bool overlap, double latency_sec) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < reps; ++i) {
+      best = std::min(best, per_step(overlap, latency_sec));
+    }
+    return best;
+  };
+
+  const double sync0 = best_per_step(false, 0.0);
+  const double sync_lat = best_per_step(false, kLatency);
+  const double overlap0 = best_per_step(true, 0.0);
+  const double overlap_lat = best_per_step(true, kLatency);
+
+  const double slope_sync = (sync_lat - sync0) / kLatency;
+  const double slope_overlap = (overlap_lat - overlap0) / kLatency;
+  std::int64_t efficiency = 100;
+  if (slope_sync > 0.0) {
+    const double floor = slope_sync / 100.0;  // caps the ratio at 100x
+    const double ratio = slope_sync / std::max(slope_overlap, floor);
+    efficiency = std::max<std::int64_t>(
+        100, static_cast<std::int64_t>(ratio * 100.0 + 0.5));
+  }
+  RSHC_OBS_COUNT("perf.f6.overlap_efficiency", efficiency);
+}
+
 /// Single-process KH run; solver phases land in the current registry.
 void run_solver(bool quick, solver::HostPipeline pipeline) {
   const long long n = quick ? 32 : 64;
@@ -346,6 +418,7 @@ int main(int argc, char** argv) {
   // stage count: phase count / solver.steps).
   run_f8_crossover(quick, /*kh_step_zones=*/3 * (quick ? 32LL * 32LL
                                                        : 64LL * 64LL));
+  run_f6_overlap(quick);
   // Primary solver run: the default batched pipeline, overridable via
   // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd | device)
   // so CI can emit one report per pipeline setting from the same binary —

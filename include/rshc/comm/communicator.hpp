@@ -34,14 +34,24 @@ inline constexpr int kAnyTag = -1;
 struct TransferModel {
   double latency_sec = 0.0;        ///< per-message latency
   double bandwidth_bytes_per_sec = 0.0;  ///< 0 => infinite
+  /// Extra per-message delay drawn deterministically from [0, jitter_sec):
+  /// message `seq` gets splitmix64(seq) scaled into the window, so delivery
+  /// order gets scrambled under test without losing reproducibility.
+  double jitter_sec = 0.0;
 
   [[nodiscard]] std::chrono::steady_clock::duration flight_time(
-      std::size_t bytes) const;
+      std::size_t bytes, std::uint64_t seq = 0) const;
 };
 
 enum class ReduceOp { kSum, kMin, kMax };
 
 class World;
+class CommFuture;
+
+namespace detail {
+/// Opaque shared state behind a CommFuture (defined in communicator.cpp).
+struct CommFutureState;
+}  // namespace detail
 
 /// Per-rank handle; cheap to copy within the owning rank's thread.
 class Communicator {
@@ -90,6 +100,23 @@ class Communicator {
     recv(src, tag, recvbuf);
   }
 
+  // --- non-blocking point to point ------------------------------------
+  /// Start a send. Sends never block in this model (the payload is copied
+  /// into the destination mailbox immediately), so the returned future is
+  /// already complete — it exists so call sites read symmetrically with
+  /// irecv and keep working if sends ever gain real asynchrony.
+  CommFuture isend_bytes(int dest, int tag, std::span<const std::byte> payload);
+  /// Post a receive into `out` and return immediately. The message is
+  /// matched and copied out lazily, when the future is completed via
+  /// test()/wait()/wait_any(); `out` must stay alive and unread until then.
+  CommFuture irecv_bytes(int source, int tag, std::span<std::byte> out);
+
+  // (defined after CommFuture below — the return type must be complete)
+  template <typename T>
+  CommFuture isend(int dest, int tag, std::span<const T> data);
+  template <typename T>
+  CommFuture irecv(int source, int tag, std::span<T> out);
+
   // --- collectives ----------------------------------------------------
   void barrier();
   double allreduce(double value, ReduceOp op);
@@ -103,6 +130,69 @@ class Communicator {
   World* world_;
   int rank_;
 };
+
+/// Waitable handle for a non-blocking comm operation (MPI_Request
+/// analogue). Completion is *lazy*: the matching message is taken out of
+/// the owning rank's mailbox by whichever of test()/wait()/wait_any()
+/// observes it first, preserving the blocking path's semantics exactly —
+/// FIFO head-of-line matching per (source, tag), modeled flight time
+/// honoured, trace flow pairing closed and the watchdog's received counter
+/// bumped at the moment the message is actually taken.
+///
+/// A future is owned by the rank that created it and its methods must be
+/// called from that rank's thread (same single-consumer rule as recv).
+/// Internal state still carries its own mutex (see State in the .cpp) so
+/// done/source transitions are annotated for the thread-safety lanes; the
+/// mailbox lock is always released before the state lock is taken, so the
+/// two levels cannot deadlock.
+class CommFuture {
+ public:
+  CommFuture();                              ///< empty; valid() == false
+  ~CommFuture();
+  CommFuture(CommFuture&&) noexcept;
+  CommFuture& operator=(CommFuture&&) noexcept;
+  CommFuture(const CommFuture&) = delete;
+  CommFuture& operator=(const CommFuture&) = delete;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// True once the operation completed (message copied into `out`).
+  [[nodiscard]] bool done() const;
+  /// Try to complete without blocking. Returns done().
+  bool test();
+  /// Block until complete; returns the actual source rank (kAnySource
+  /// receives resolve here). No-op if already done.
+  int wait();
+  /// Actual source rank; requires done().
+  [[nodiscard]] int source() const;
+
+  /// Block until at least one future completes; returns its index within
+  /// `futures`. Already-done entries are returned immediately (lowest index
+  /// first). All pending entries must belong to the same rank. When several
+  /// patterns could match the same mailbox message, the lowest-index
+  /// pending future wins — completion order is a property of message
+  /// readiness, not of the order the futures were posted in.
+  static std::size_t wait_any(std::span<CommFuture* const> futures);
+  /// wait() every future (any order; result is order-independent).
+  static void wait_all(std::span<CommFuture* const> futures);
+
+ private:
+  friend class Communicator;
+  explicit CommFuture(std::unique_ptr<detail::CommFutureState> state);
+
+  std::unique_ptr<detail::CommFutureState> state_;
+};
+
+template <typename T>
+CommFuture Communicator::isend(int dest, int tag, std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return isend_bytes(dest, tag, std::as_bytes(data));
+}
+
+template <typename T>
+CommFuture Communicator::irecv(int source, int tag, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return irecv_bytes(source, tag, std::as_writable_bytes(out));
+}
 
 /// Owns the mailboxes and collective state for `size` ranks.
 class World {
@@ -121,6 +211,8 @@ class World {
 
  private:
   friend class Communicator;
+  friend class CommFuture;
+  friend struct detail::CommFutureState;
 
   struct Message {
     int source;
@@ -137,8 +229,25 @@ class World {
     std::deque<Message> messages RSHC_GUARDED_BY(mutex);
   };
 
+  /// (source, tag) matching pattern for multi-receive waits; either field
+  /// may be the kAny* wildcard.
+  struct RecvPattern {
+    int source;
+    int tag;
+  };
+
+  static bool matches(const Message& m, int source, int tag);
+
   void deliver(int dest, Message msg);
   Message take_matching(int me, int source, int tag);
+  /// Non-blocking take: succeeds only when the pattern's FIFO head-of-line
+  /// match exists *and* its modeled flight time has elapsed (a ready later
+  /// message never overtakes an in-flight earlier one).
+  bool try_take_matching(int me, int source, int tag, Message& out);
+  /// Block until any pattern's head-of-line match is ready; take it and
+  /// return the pattern index (lowest index wins ties).
+  std::size_t take_any(int me, std::span<const RecvPattern> patterns,
+                       Message& out);
 
   int size_;
   TransferModel model_;
@@ -158,6 +267,8 @@ class World {
   // synchronization is derived from them.
   std::atomic<std::size_t> msg_count_{0};
   std::atomic<std::size_t> byte_count_{0};
+  // relaxed: per-message sequence feeding the deterministic jitter hash.
+  std::atomic<std::uint64_t> send_seq_{0};
 };
 
 /// Spawn `size` rank threads each running `body(comm)`; joins all and

@@ -180,6 +180,26 @@ class FvSolver {
     ghost_filler_ = std::move(filler);
   }
 
+  /// Invoked by the finish hook once per face of block b, as soon as that
+  /// face's ghosts are valid (halo unpacked or physical boundary applied).
+  using FaceReadyFn = std::function<void(int axis, int side)>;
+  /// Install the latency-hiding exchange pair (the distributed driver's
+  /// hook; see DESIGN.md "Latency-hiding halo exchange"). `begin(b)` posts
+  /// the async exchange for block b and returns while messages fly;
+  /// `finish(b, ready)` completes it, calling `ready(axis, side)` for
+  /// every face as its ghosts become valid. With the pair installed (and a
+  /// host pipeline selected), the stepping paths split each RHS into a
+  /// ghost-independent interior pass overlapped with the message flight
+  /// plus stencil-width boundary boxes computed as their faces arrive —
+  /// bitwise identical to the synchronous schedule. Pass empty functions
+  /// to uninstall (the sync ghost filler is used again).
+  void set_overlap_exchange(
+      std::function<void(int)> begin,
+      std::function<void(int, const FaceReadyFn&)> finish) {
+    overlap_begin_ = std::move(begin);
+    overlap_finish_ = std::move(finish);
+  }
+
   // --- device offload (HostPipeline::kDevice) -------------------------
   /// True when device arenas hold the authoritative state (the host
   /// mirror's interior may be stale between sync_from_device calls).
@@ -195,10 +215,25 @@ class FvSolver {
  private:
   struct Scratch;  // per-block pencil + batched-tile work arrays
 
+  [[nodiscard]] bool overlap_active() const {
+    return static_cast<bool>(overlap_begin_) &&
+           static_cast<bool>(overlap_finish_) &&
+           opt_.pipeline != HostPipeline::kDevice;
+  }
   void exchange_block(int b);
   void compute_rhs(int b);
   void compute_rhs_pencil(int b);
   void compute_rhs_batched(int b);
+  /// Restricted-box RHS: accumulate only zones in [lo, hi); `zero_du`
+  /// clears the whole accumulator first. Bitwise equal per zone to the
+  /// full-range call (see core::rhs_batched_range).
+  void compute_rhs_range(int b, const std::array<int, 3>& lo,
+                         const std::array<int, 3>& hi, bool zero_du);
+  void compute_rhs_pencil_range(int b, const std::array<int, 3>& lo,
+                                const std::array<int, 3>& hi);
+  /// Interior-first RHS for the overlapped exchange: interior box while
+  /// messages fly, then boundary boxes as overlap_finish_ reports faces.
+  void compute_rhs_overlapped(int b);
   void update_block(int b, time::StageCoeffs coeffs, double dt);
   void update_block_pencil(int b, time::StageCoeffs coeffs, double dt);
   void update_block_batched(int b, time::StageCoeffs coeffs, double dt);
@@ -218,6 +253,8 @@ class FvSolver {
   std::vector<std::unique_ptr<Scratch>> scratch_;
   std::vector<C2PStats> block_stats_;
   std::function<void(int)> ghost_filler_;
+  std::function<void(int)> overlap_begin_;
+  std::function<void(int, const FaceReadyFn&)> overlap_finish_;
   recon::PencilKernel recon_fn_ = nullptr;  // opt_.recon, resolved once
   bool restricted_ = false;
   C2PStats stats_;
@@ -230,9 +267,11 @@ class FvSolver {
   // device arenas (see device_exec.hpp).
   std::unique_ptr<DeviceExec<Physics>> device_;
 
-  // Cached dataflow graphs keyed by step count.
+  // Cached dataflow graphs keyed by step count (and overlap mode — the
+  // node bodies differ when the exchange is futurized).
   std::unique_ptr<parallel::TaskGraph> graph_;
   int graph_steps_ = 0;
+  bool graph_overlap_ = false;
 };
 
 using SrhdSolver = FvSolver<SrhdPhysics>;

@@ -88,6 +88,24 @@ void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
                  recon::PencilKernel recon_fn, bool simd, const double* w,
                  double* du, BatchScratch<Physics>& s, int block_id);
 
+/// Zone-range-restricted batched rhs (the interior/boundary split the
+/// overlapped distributed step uses): accumulate flux differences only for
+/// zones in the box [lo, hi) (interior coordinates; lo/hi must lie within
+/// [sh.begin, sh.end]). Reconstruction runs on sub-pencil windows padded
+/// by the stencil radius, so every zone in the box receives *bitwise* the
+/// per-axis contributions the full-range call would give it — callers may
+/// partition the interior into disjoint boxes and invoke this per box in
+/// any order. `zero_du` zeroes the whole du array first (exactly one box
+/// of a partition must pass true, before any other box runs).
+/// rhs_batched is this call with [sh.begin, sh.end) and zero_du = true.
+template <typename Physics>
+void rhs_batched_range(const BlockShape& sh,
+                       const typename Physics::Context& ctx,
+                       recon::PencilKernel recon_fn, bool simd,
+                       const double* w, double* du, BatchScratch<Physics>& s,
+                       int block_id, const std::array<int, 3>& lo,
+                       const std::array<int, 3>& hi, bool zero_du);
+
 /// Batched RK stage: u = (ca*u0 + cb*u) + cdt*du over the interior, then
 /// primitive recovery u -> w through the batched con2prim kernels.
 template <typename Physics>

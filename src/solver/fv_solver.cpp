@@ -61,6 +61,11 @@ struct FvSolver<Physics>::Scratch {
   std::array<std::vector<double>, Physics::kNumPrim> qr;
   core::BatchScratch<Physics> batch;
 
+  // Sub-millisecond remainder of overlap-hidden time, carried across
+  // stages so the integer comm.overlap.hidden_ms counter loses < 1 ms
+  // total (per block — Scratch is per block, so graph workers never race).
+  double hidden_ms_acc = 0.0;
+
   explicit Scratch(int max_extent) : batch(max_extent) {
     const auto plen = static_cast<std::size_t>(max_extent);
     for (int v = 0; v < Physics::kNumPrim; ++v) {
@@ -282,6 +287,246 @@ void FvSolver<Physics>::compute_rhs_pencil(int b) {
   }
 }
 
+// Range-restricted pencil rhs: same arithmetic as compute_rhs_pencil, but
+// only zones in [lo, hi) accumulate. Reconstruction runs on sub-pencil
+// windows padded by the stencil radius, so every face value a zone in the
+// box reads is computed from exactly the cells the full pencil would use —
+// bitwise identical per zone (the kernels are fixed-radius pointwise
+// stencils; see rhs_core.cpp for the same argument on the batched side).
+// The caller zeroes du; disjoint boxes may run in any order.
+template <typename Physics>
+void FvSolver<Physics>::compute_rhs_pencil_range(int b,
+                                                 const std::array<int, 3>& lo,
+                                                 const std::array<int, 3>& hi) {
+  for (int a = 0; a < 3; ++a) {
+    if (lo[a] >= hi[a]) return;  // empty box
+  }
+  mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+  mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
+  Scratch& s = *scratch_[static_cast<std::size_t>(b)];
+
+  const auto& w = blk.prim();
+  for (int axis = 0; axis < grid_.ndim(); ++axis) {
+    const double inv_dx = 1.0 / grid_.dx(axis);
+    int a1 = -1;
+    int a2 = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (a == axis) continue;
+      (a1 < 0 ? a1 : a2) = a;
+    }
+
+    const int fb = lo[axis];
+    const int fe = hi[axis];
+    // Window [ws, we): the cells the stencils of faces f-1/2 .. f+1/2 for
+    // f in [fb, fe) actually read. fb >= begin = ng and radius = ng - 1,
+    // so the window never leaves the ghosted pencil.
+    const int radius = blk.begin(axis) - 1;
+    const int ws = fb - 1 - radius;
+    const int we = fe + 1 + radius;
+    const auto uws = static_cast<std::size_t>(ws);
+    const auto nwin = static_cast<std::size_t>(we - ws);
+
+    for (int t2 = lo[a2]; t2 < hi[a2]; ++t2) {
+      for (int t1 = lo[a1]; t1 < hi[a1]; ++t1) {
+        auto local = [&](int f) {
+          int idx[3];
+          idx[axis] = f;
+          idx[a1] = t1;
+          idx[a2] = t2;
+          return std::array<int, 3>{idx[0], idx[1], idx[2]};  // (i, j, k)
+        };
+
+        // Load the window and reconstruct at absolute pencil offsets, so
+        // the interface loop below indexes ql/qr exactly like the
+        // full-pencil path does.
+        for (int v = 0; v < Physics::kNumPrim; ++v) {
+          for (int f = ws; f < we; ++f) {
+            const auto c = local(f);
+            s.q[v][static_cast<std::size_t>(f)] = w(v, c[2], c[1], c[0]);
+          }
+          recon::reconstruct(opt_.recon, {s.q[v].data() + uws, nwin},
+                             {s.ql[v].data() + uws, nwin},
+                             {s.qr[v].data() + uws, nwin});
+        }
+
+        // Interfaces f+1/2 for f in [fb-1, fe-1]; the box owns exactly the
+        // zones in [fb, fe), so the accumulation guards clip to the box.
+        double comp[Physics::kNumPrim];
+        for (int f = fb - 1; f < fe; ++f) {
+          for (int v = 0; v < Physics::kNumPrim; ++v) {
+            comp[v] = s.qr[v][static_cast<std::size_t>(f)];
+          }
+          Prim wl = Physics::prim_from_components(comp);
+          for (int v = 0; v < Physics::kNumPrim; ++v) {
+            comp[v] = s.ql[v][static_cast<std::size_t>(f) + 1];
+          }
+          Prim wr = Physics::prim_from_components(comp);
+          Physics::limit_face_state(wl, opt_.physics);
+          Physics::limit_face_state(wr, opt_.physics);
+
+          const Cons flux =
+              Physics::interface_flux(wl, wr, axis, opt_.physics);
+#if RSHC_CHECKS_ENABLED
+          {
+            const auto cf = local(f);
+            RSHC_CHECK_PRIM("flux", wl, b, cf[0], cf[1], cf[2]);
+            RSHC_CHECK_PRIM("flux", wr, b, cf[0], cf[1], cf[2]);
+            RSHC_CHECK_CONS("flux", flux, b, cf[0], cf[1], cf[2]);
+          }
+#endif
+
+          if (f >= fb) {
+            const auto c = local(f);
+            Cons acc = Physics::load_cons(du, c[2], c[1], c[0]);
+            acc += (-inv_dx) * flux;
+            Physics::store_cons(du, c[2], c[1], c[0], acc);
+          }
+          if (f + 1 < fe) {
+            const auto c = local(f + 1);
+            Cons acc = Physics::load_cons(du, c[2], c[1], c[0]);
+            acc += inv_dx * flux;
+            Physics::store_cons(du, c[2], c[1], c[0], acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename Physics>
+void FvSolver<Physics>::compute_rhs_range(int b, const std::array<int, 3>& lo,
+                                          const std::array<int, 3>& hi,
+                                          bool zero_du) {
+  mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+  mesh::FieldArray& du = du_[static_cast<std::size_t>(b)];
+  if (opt_.pipeline == HostPipeline::kPencil) {
+    if (zero_du) du.fill(0.0);
+    compute_rhs_pencil_range(b, lo, hi);
+  } else {
+    core::rhs_batched_range<Physics>(
+        core::shape_of(blk, grid_), opt_.physics, recon_fn_,
+        opt_.pipeline != HostPipeline::kBatchedScalar,
+        blk.prim().flat().data(), du.flat().data(),
+        scratch_[static_cast<std::size_t>(b)]->batch, b, lo, hi, zero_du);
+  }
+}
+
+// Interior-first rhs for the latency-hiding exchange. The deep interior
+// (every zone >= ng from each active face) reads no ghosts, so it runs
+// while halo messages fly; the remaining onion of ng-wide boundary boxes
+// runs as overlap_finish_ reports faces valid. The boxes partition the
+// block disjointly and compute_rhs_range is bitwise per zone regardless of
+// box order, so the result is bit-identical to compute_rhs after a
+// synchronous exchange.
+template <typename Physics>
+void FvSolver<Physics>::compute_rhs_overlapped(int b) {
+  RSHC_OBS_PHASE("solver.phase.rhs", "solver", b);
+  const mesh::Block& blk = blocks_[static_cast<std::size_t>(b)];
+
+  std::array<int, 3> ilo{};
+  std::array<int, 3> ihi{};
+  bool has_interior = true;
+  for (int a = 0; a < 3; ++a) {
+    const int margin = a < grid_.ndim() ? blk.ghost(a) : 0;
+    ilo[a] = blk.begin(a) + margin;
+    ihi[a] = blk.end(a) - margin;
+    if (ilo[a] >= ihi[a]) has_interior = false;
+  }
+
+  struct Box {
+    std::array<int, 3> lo;
+    std::array<int, 3> hi;
+    unsigned need = 0;  // faces (bit axis*2+side) whose ghosts the box reads
+    bool zero = false;
+    bool done = false;
+  };
+  unsigned all_faces = 0;
+  for (int a = 0; a < grid_.ndim(); ++a) {
+    all_faces |= (1u << (a * 2)) | (1u << (a * 2 + 1));
+  }
+
+  std::array<Box, 7> boxes{};
+  std::size_t nboxes = 0;
+  if (has_interior) {
+    // Onion decomposition: box(a, side) is the ng-wide margin at face
+    // (a, side), restricted to the interior of axes < a and spanning axes
+    // > a fully — the boxes tile (block \ deep interior) disjointly. A box
+    // reads the ghosts of its own face, plus both faces of every active
+    // axis t > a (its t-extent is full, so t-pencils reach both ghost
+    // layers); axes < a never reach ghosts (extent clipped to interior).
+    for (int a = 0; a < grid_.ndim(); ++a) {
+      for (int side = 0; side < 2; ++side) {
+        Box& box = boxes[nboxes++];
+        for (int t = 0; t < 3; ++t) {
+          box.lo[t] = t < a ? ilo[t] : blk.begin(t);
+          box.hi[t] = t < a ? ihi[t] : blk.end(t);
+        }
+        if (side == 0) {
+          box.lo[a] = blk.begin(a);
+          box.hi[a] = ilo[a];
+        } else {
+          box.lo[a] = ihi[a];
+          box.hi[a] = blk.end(a);
+        }
+        box.need = 1u << (a * 2 + side);
+        for (int t = a + 1; t < grid_.ndim(); ++t) {
+          box.need |= (1u << (t * 2)) | (1u << (t * 2 + 1));
+        }
+      }
+    }
+  } else {
+    // Degenerate block (some extent < 3*ng): no ghost-free interior.
+    // One full box gated on every active face — no overlap, still correct.
+    Box& box = boxes[nboxes++];
+    for (int t = 0; t < 3; ++t) {
+      box.lo[t] = blk.begin(t);
+      box.hi[t] = blk.end(t);
+    }
+    box.need = all_faces;
+    box.zero = true;
+  }
+
+  if (has_interior) {
+    const WallTimer t;
+    compute_rhs_range(b, ilo, ihi, /*zero_du=*/true);
+    // The interior pass ran while the halo messages were in flight: that
+    // is the comm time this schedule hides.
+    const double ms = t.seconds() * 1000.0;
+    Scratch& s = *scratch_[static_cast<std::size_t>(b)];
+    s.hidden_ms_acc += ms;
+    const auto whole = static_cast<long long>(s.hidden_ms_acc);
+    if (whole > 0) {
+      RSHC_OBS_COUNT("comm.overlap.hidden_ms", whole);
+      s.hidden_ms_acc -= static_cast<double>(whole);
+    }
+    RSHC_OBS_COUNT("solver.rhs.interior_zones",
+                   static_cast<long long>(ihi[0] - ilo[0]) *
+                       static_cast<long long>(ihi[1] - ilo[1]) *
+                       static_cast<long long>(ihi[2] - ilo[2]));
+  }
+
+  // Inactive axes have no exchange: mark their faces pre-arrived so the
+  // masks only ever gate on real messages.
+  unsigned arrived = ~all_faces;
+  auto sweep = [&] {
+    for (std::size_t i = 0; i < nboxes; ++i) {
+      Box& box = boxes[i];
+      if (box.done || (box.need & ~arrived) != 0) continue;
+      compute_rhs_range(b, box.lo, box.hi, box.zero);
+      box.done = true;
+    }
+  };
+  const FaceReadyFn ready = [&](int axis, int side) {
+    arrived |= 1u << (axis * 2 + side);
+    sweep();
+  };
+  overlap_finish_(b, ready);
+  for (std::size_t i = 0; i < nboxes; ++i) {
+    RSHC_REQUIRE(boxes[i].done,
+                 "overlap finish hook did not report every face ready");
+  }
+}
+
 // Batched rhs: delegates to the shared core::rhs_batched instantiation —
 // the same compiled body the device pipeline launches as its rhs kernel.
 // See rhs_core.cpp for how the tile staging preserves the pencil path's
@@ -466,11 +711,23 @@ template <typename Physics>
 void FvSolver<Physics>::stage_serial(int stage, double dt) {
   const auto coeffs = time::stage_coeffs(opt_.integrator, stage);
   WallTimer t;
-  for (int b = 0; b < num_blocks(); ++b) exchange_block(b);
-  phases_.exchange += t.seconds();
-  t.reset();
-  for (int b = 0; b < num_blocks(); ++b) compute_rhs(b);
-  phases_.rhs += t.seconds();
+  if (overlap_active()) {
+    // Latency-hiding schedule: post every face exchange up front, compute
+    // the ghost-free interior while messages fly, and finish boundary
+    // boxes as their faces land. The exchange phase is the pack+post cost
+    // only; the waits hide inside the rhs phase (that is the point).
+    for (int b = 0; b < num_blocks(); ++b) overlap_begin_(b);
+    phases_.exchange += t.seconds();
+    t.reset();
+    for (int b = 0; b < num_blocks(); ++b) compute_rhs_overlapped(b);
+    phases_.rhs += t.seconds();
+  } else {
+    for (int b = 0; b < num_blocks(); ++b) exchange_block(b);
+    phases_.exchange += t.seconds();
+    t.reset();
+    for (int b = 0; b < num_blocks(); ++b) compute_rhs(b);
+    phases_.rhs += t.seconds();
+  }
   t.reset();
   for (int b = 0; b < num_blocks(); ++b) update_block(b, coeffs, dt);
   phases_.update += t.seconds();
@@ -603,9 +860,14 @@ void FvSolver<Physics>::step_parallel(double dt, parallel::ThreadPool& pool,
 
 template <typename Physics>
 parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
-  if (graph_ && graph_steps_ == nsteps) return *graph_;
+  if (graph_ && graph_steps_ == nsteps &&
+      graph_overlap_ == overlap_active()) {
+    return *graph_;
+  }
   graph_ = std::make_unique<parallel::TaskGraph>();
   graph_steps_ = nsteps;
+  graph_overlap_ = overlap_active();
+  const bool overlap = graph_overlap_;
 
   using NodeId = parallel::TaskGraph::NodeId;
   const int nb = num_blocks();
@@ -644,7 +906,7 @@ parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
           }
         }
         cur_e[static_cast<std::size_t>(b)] = graph_->add(
-            [this, b, step_start] {
+            [this, b, step_start, overlap] {
               if (step_start) {
                 // Per-block save of the RK reference state (dataflow keeps
                 // even this barrier-free).
@@ -653,7 +915,14 @@ parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
                 auto dst = u0_[static_cast<std::size_t>(b)].flat();
                 std::copy(src.begin(), src.end(), dst.begin());
               }
-              exchange_block(b);
+              // Overlap: only post the async exchange here; the matching
+              // K node finishes it face by face under the interior pass,
+              // so boundary work keys off halo arrival, not a bulk wait.
+              if (overlap) {
+                overlap_begin_(b);
+              } else {
+                exchange_block(b);
+              }
             },
             deps);
       }
@@ -666,8 +935,12 @@ parallel::TaskGraph& FvSolver<Physics>::step_graph(int nsteps) {
           deps.push_back(cur_e[static_cast<std::size_t>(nbr)]);
         }
         cur_k[static_cast<std::size_t>(b)] = graph_->add(
-            [this, b, coeffs, step_end] {
-              compute_rhs(b);
+            [this, b, coeffs, step_end, overlap] {
+              if (overlap) {
+                compute_rhs_overlapped(b);
+              } else {
+                compute_rhs(b);
+              }
               update_block(b, coeffs, current_dt_);
               if (step_end) {
                 auto& blk = blocks_[static_cast<std::size_t>(b)];

@@ -33,14 +33,25 @@ BlockShape shape_of(const mesh::Block& blk, const mesh::Grid& grid) {
 // serves as the device kernel body, so the device pipeline inherits the
 // same bits by construction.
 template <typename Physics>
-void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
-                 recon::PencilKernel recon_fn, bool simd, const double* w,
-                 double* du, BatchScratch<Physics>& s,
-                 [[maybe_unused]] int block_id) {
+void rhs_batched_range(const BlockShape& sh,
+                       const typename Physics::Context& ctx,
+                       recon::PencilKernel recon_fn, bool simd,
+                       const double* w, double* du, BatchScratch<Physics>& s,
+                       [[maybe_unused]] int block_id,
+                       const std::array<int, 3>& lo,
+                       const std::array<int, 3>& hi, bool zero_du) {
   using Prim = typename Physics::Prim;
   using Cons = typename Physics::Cons;
   const std::size_t cells = sh.cells();
-  std::fill(du, du + static_cast<std::size_t>(Physics::kNumCons) * cells, 0.0);
+  if (zero_du) {
+    std::fill(du, du + static_cast<std::size_t>(Physics::kNumCons) * cells,
+              0.0);
+  }
+  for (int a = 0; a < 3; ++a) {
+    if (lo[static_cast<std::size_t>(a)] >= hi[static_cast<std::size_t>(a)]) {
+      return;  // empty box: zeroing (if requested) is all there is to do
+    }
+  }
 
   auto wvar = [&](int v) {
     return w + static_cast<std::size_t>(v) * cells;
@@ -60,12 +71,23 @@ void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
       if (a == axis) continue;
       (a1 < 0 ? a1 : a2) = a;
     }
-    const int fb = sh.begin[static_cast<std::size_t>(axis)];
-    const int fe = sh.end[static_cast<std::size_t>(axis)];
-    const int b1 = sh.begin[static_cast<std::size_t>(a1)];
-    const int e1 = sh.end[static_cast<std::size_t>(a1)];
-    const int b2 = sh.begin[static_cast<std::size_t>(a2)];
-    const int e2 = sh.end[static_cast<std::size_t>(a2)];
+    const int fb = lo[static_cast<std::size_t>(axis)];
+    const int fe = hi[static_cast<std::size_t>(axis)];
+    const int b1 = lo[static_cast<std::size_t>(a1)];
+    const int e1 = hi[static_cast<std::size_t>(a1)];
+    const int b2 = lo[static_cast<std::size_t>(a2)];
+    const int e2 = hi[static_cast<std::size_t>(a2)];
+    // Reconstruction window: interfaces [fb-1, fe-1] read face states of
+    // cells [fb-1, fe], and a cell's reconstruction reads `radius` cells
+    // each side. The ghost width (== sh.begin on an active axis) is
+    // radius + 1, so the window always fits inside [0, n] and every cell
+    // in [fb-1, fe] sits >= radius from the window edges — its
+    // reconstructed faces are bitwise those of the full-pencil call.
+    const int radius = sh.begin[static_cast<std::size_t>(axis)] - 1;
+    const int ws = fb - 1 - radius;
+    const int we = fe + 1 + radius;
+    const auto uws = static_cast<std::size_t>(ws);
+    const auto uwin = static_cast<std::size_t>(we - ws);
 
     for (int t2 = b2; t2 < e2; ++t2) {
       for (int t10 = b1; t10 < e1; t10 += kTileRows) {
@@ -73,16 +95,19 @@ void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
         const auto urows = static_cast<std::size_t>(rows);
 
         // Gather + reconstruct one tile of pencils per variable, with the
-        // method dispatch already resolved to recon_fn.
+        // method dispatch already resolved to recon_fn. Faces land at
+        // their absolute pencil offsets (tile arrays keep stride un), so
+        // the staging below indexes identically for any window.
         for (int v = 0; v < Physics::kNumPrim; ++v) {
           if (axis == 0) {
-            const double* src = wvar(v) + sh.cell_index(t2, t10, 0);
-            recon::reconstruct_rows(recon_fn, urows, un, src, un,
-                                    s.tql[v].data(), s.tqr[v].data(), un);
+            const double* src = wvar(v) + sh.cell_index(t2, t10, ws);
+            recon::reconstruct_rows(recon_fn, urows, uwin, src, un,
+                                    s.tql[v].data() + uws,
+                                    s.tqr[v].data() + uws, un);
           } else {
             const double* wv = wvar(v);
             double* tq = s.tq[v].data();
-            for (int f = 0; f < n; ++f) {
+            for (int f = ws; f < we; ++f) {
               const double* src = wv + (axis == 1 ? sh.cell_index(t2, f, t10)
                                                   : sh.cell_index(f, t2, t10));
               for (int t = 0; t < rows; ++t) {
@@ -90,8 +115,9 @@ void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
                    static_cast<std::size_t>(f)] = src[t];
               }
             }
-            recon::reconstruct_rows(recon_fn, urows, un, tq, un,
-                                    s.tql[v].data(), s.tqr[v].data(), un);
+            recon::reconstruct_rows(recon_fn, urows, uwin, tq + uws, un,
+                                    s.tql[v].data() + uws,
+                                    s.tqr[v].data() + uws, un);
           }
         }
 
@@ -195,6 +221,17 @@ void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
       }
     }
   }
+}
+
+// Full-range rhs is the restricted call over the whole interior — one
+// compiled body serves the bulk pipelines, the device kernel, and every
+// box of the overlapped interior/boundary split.
+template <typename Physics>
+void rhs_batched(const BlockShape& sh, const typename Physics::Context& ctx,
+                 recon::PencilKernel recon_fn, bool simd, const double* w,
+                 double* du, BatchScratch<Physics>& s, int block_id) {
+  rhs_batched_range<Physics>(sh, ctx, recon_fn, simd, w, du, s, block_id,
+                             sh.begin, sh.end, /*zero_du=*/true);
 }
 
 // Batched update: the RK convex combination runs as fused axpby-style span
@@ -306,6 +343,14 @@ template void rhs_batched<SrmhdPhysics>(const BlockShape&,
                                         recon::PencilKernel, bool,
                                         const double*, double*,
                                         BatchScratch<SrmhdPhysics>&, int);
+template void rhs_batched_range<SrhdPhysics>(
+    const BlockShape&, const SrhdPhysics::Context&, recon::PencilKernel,
+    bool, const double*, double*, BatchScratch<SrhdPhysics>&, int,
+    const std::array<int, 3>&, const std::array<int, 3>&, bool);
+template void rhs_batched_range<SrmhdPhysics>(
+    const BlockShape&, const SrmhdPhysics::Context&, recon::PencilKernel,
+    bool, const double*, double*, BatchScratch<SrmhdPhysics>&, int,
+    const std::array<int, 3>&, const std::array<int, 3>&, bool);
 template void update_batched<SrhdPhysics>(const BlockShape&,
                                           const SrhdPhysics::Context&, bool,
                                           double, double, double,

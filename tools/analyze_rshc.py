@@ -659,6 +659,37 @@ def selftest() -> int:
     expect("lock-order scope-exit", check_lock_order(scope_exit),
            "lock-order", 0, 5)
 
+    # lock-order, comm wait-path shape: the futures invariant is that the
+    # mailbox lock is never held while taking a CommFutureState lock (the
+    # wait side holds state->m_ and probes the mailbox; delivery holds the
+    # mailbox mutex_ and must complete futures only after dropping it).
+    # Seed the forbidden nesting on the delivery side and assert the cycle
+    # fires; the real release-before-acquire shape must stay clean.
+    comm_inverted = {
+        "src/comm/communicator.cpp": (
+            "void CommFuture::wait() {\n"
+            "  LockGuard s(state_->m_);\n"
+            "  LockGuard b(mailbox_.mutex_);\n"
+            "}\n"
+            "void World::deliver() {\n"
+            "  LockGuard b(mailbox_.mutex_);\n"
+            "  LockGuard s(state_->m_);\n"
+            "}\n")}
+    expect("lock-order comm seeded", check_lock_order(comm_inverted),
+           "lock-order", 1, 5)
+    comm_clean = {
+        "src/comm/communicator.cpp": (
+            "void CommFuture::wait() {\n"
+            "  { LockGuard b(mailbox_.mutex_); }\n"
+            "  LockGuard s(state_->m_);\n"
+            "}\n"
+            "void World::deliver() {\n"
+            "  { LockGuard b(mailbox_.mutex_); }\n"
+            "  LockGuard s(state_->m_);\n"
+            "}\n")}
+    expect("lock-order comm clean", check_lock_order(comm_clean),
+           "lock-order", 0, 5)
+
     if failures:
         print(f"analyze_rshc selftest: {len(failures)} failure(s)")
         for f in failures:

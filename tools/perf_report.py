@@ -250,6 +250,47 @@ def compare_steady_throughput(base: dict, cur: dict,
     return perf, structural
 
 
+# Latency-hiding halo exchange efficiency (bench/perf_suite.cpp
+# run_f6_overlap): sync-vs-overlap time-per-step slope ratio against
+# injected message latency, in percent (200 = overlap hides half the
+# latency the sync schedule pays). Bigger is better, same gate shape as
+# the steady-throughput counter.
+_OVERLAP_COUNTER = "perf.f6.overlap_efficiency"
+
+
+def compare_overlap_efficiency(base: dict, cur: dict,
+                               threshold: float) -> tuple[list[str],
+                                                          list[str]]:
+    """First-class row for the halo-overlap efficiency counter."""
+    b = counter_map(base).get(_OVERLAP_COUNTER)
+    c = counter_map(cur).get(_OVERLAP_COUNTER)
+    perf: list[str] = []
+    structural: list[str] = []
+    if b is None and c is None:
+        return perf, structural
+    if b is None:
+        print(f"perf_report: note: new counter '{_OVERLAP_COUNTER}' = "
+              f"{c:.0f}% (not in baseline)")
+        return perf, structural
+    if c is None:
+        structural.append(f"counter '{_OVERLAP_COUNTER}' present in baseline "
+                          f"but missing from current report")
+        return perf, structural
+    if b <= 0.0:
+        print(f"  [ ] {_OVERLAP_COUNTER}: baseline measured no overlap "
+              f"efficiency; nothing to gate")
+        return perf, structural
+    ratio = c / b
+    bad = c < b / (1.0 + threshold)
+    print(f"  [{'!' if bad else ' '}] {_OVERLAP_COUNTER}: {b:.0f}% -> "
+          f"{c:.0f}% ({ratio - 1.0:+.1%} vs baseline)")
+    if bad:
+        perf.append(f"{_OVERLAP_COUNTER} dropped to {ratio:.2f}x the "
+                    f"baseline (threshold {1.0 / (1.0 + threshold):.2f}x); "
+                    f"the overlapped exchange is hiding less latency")
+    return perf, structural
+
+
 def mean_per_sample(ph: dict) -> float:
     return ph["sum_s"] / ph["count"] if ph["count"] else 0.0
 
@@ -309,12 +350,16 @@ def compare_reports(base: dict, cur: dict, threshold: float,
     crossover_perf, crossover_structural = compare_crossovers(base, cur)
     steady_perf, steady_structural = compare_steady_throughput(
         base, cur, threshold)
-    if crossover_structural or steady_structural:
-        for msg in crossover_structural + steady_structural:
+    overlap_perf, overlap_structural = compare_overlap_efficiency(
+        base, cur, threshold)
+    if crossover_structural or steady_structural or overlap_structural:
+        for msg in (crossover_structural + steady_structural
+                    + overlap_structural):
             print(f"perf_report: STRUCTURAL: {msg}", file=sys.stderr)
         return EXIT_STRUCTURAL
     regressions.extend(crossover_perf)
     regressions.extend(steady_perf)
+    regressions.extend(overlap_perf)
 
     if regressions:
         for msg in regressions:
@@ -656,6 +701,33 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         rc = compare_reports(rep, dropped_ctr, 0.30, 1e-4)
         if rc != EXIT_STRUCTURAL:
             print(f"perf_report: selftest: dropped steady-throughput "
+                  f"counter returned {rc}, expected {EXIT_STRUCTURAL}",
+                  file=sys.stderr)
+            return EXIT_STRUCTURAL
+
+    # Overlap-efficiency gates, exercised when the report carries the
+    # counter: halving the efficiency must trip the perf gate, dropping
+    # the counter is structural.
+    overlap = counter_map(rep).get(_OVERLAP_COUNTER, 0)
+    if overlap <= 0:
+        print("perf_report: selftest: no overlap-efficiency counter; "
+              "skipping its gate checks")
+    else:
+        halved = copy.deepcopy(rep)
+        for c in halved["counters"]:
+            if c["name"] == _OVERLAP_COUNTER:
+                c["value"] = overlap / 2.0
+        rc = compare_reports(rep, halved, 0.30, 1e-4)
+        if rc != EXIT_PERF:
+            print(f"perf_report: selftest: halved overlap efficiency "
+                  f"returned {rc}, expected {EXIT_PERF}", file=sys.stderr)
+            return EXIT_STRUCTURAL
+        dropped_ctr = copy.deepcopy(rep)
+        dropped_ctr["counters"] = [c for c in dropped_ctr["counters"]
+                                   if c["name"] != _OVERLAP_COUNTER]
+        rc = compare_reports(rep, dropped_ctr, 0.30, 1e-4)
+        if rc != EXIT_STRUCTURAL:
+            print(f"perf_report: selftest: dropped overlap-efficiency "
                   f"counter returned {rc}, expected {EXIT_STRUCTURAL}",
                   file=sys.stderr)
             return EXIT_STRUCTURAL
