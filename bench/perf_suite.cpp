@@ -17,6 +17,14 @@
 //  4. F8 accelerator crossover counters (perf.f8.*): where the staged and
 //     resident con2prim offload modes reach host parity, against the
 //     zones-per-step of workload 2 — see run_f8_crossover below.
+//  5. Saturating simulation-service workload (run_serve): a 36-job mixed
+//     queue (3 SRHD + 3 SRMHD problems, all three priority classes) on a
+//     4-worker rshc::serve::SimulationService, distilled into the
+//     service-level counters perf.serve.jobs_per_hour (bigger is better)
+//     and perf.serve.p99_job_latency_ms (smaller is better), plus
+//     "serve."-prefixed per-job phase roll-ups from the jobs' scoped
+//     registries. RSHC_SERVE_ONLY=1 runs only workloads 1 and 5 — the
+//     shape CI's perf-smoke lane uses for BENCH_perf_service.json.
 //
 // Output path comes from RSHC_PERF_OUT (default BENCH_perf.json). Compare
 // two runs with tools/perf_report.py; CI's perf-smoke lane gates on the
@@ -24,6 +32,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +43,7 @@
 #include <vector>
 
 #include "exp_common.hpp"
+#include "rshc/common/error.hpp"
 #include "rshc/common/timer.hpp"
 #include "rshc/comm/communicator.hpp"
 #include "rshc/device/device.hpp"
@@ -43,6 +53,8 @@
 #include "rshc/obs/report.hpp"
 #include "rshc/obs/telemetry.hpp"
 #include "rshc/problems/problems.hpp"
+#include "rshc/serve/riemann_cache.hpp"
+#include "rshc/serve/service.hpp"
 #include "rshc/solver/distributed.hpp"
 #include "rshc/solver/fv_solver.hpp"
 #include "rshc/srhd/kernels.hpp"
@@ -375,6 +387,119 @@ std::vector<obs::report::PhaseStats> run_distributed(bool quick) {
       std::span<const obs::Snapshot>(rank_snaps), "dist.");
 }
 
+/// Saturating mixed workload through the simulation service: 36 jobs
+/// (>= queue pressure on 4 workers throughout) spanning three SRHD and
+/// three SRMHD problems and all three priority classes, the shock-tube
+/// jobs validating against the shared exact-Riemann cache. Distilled into
+/// two service-level gate counters:
+///
+///   perf.serve.jobs_per_hour      — completed jobs extrapolated to an
+///       hour of wall time; the throughput the admission-control zone
+///       budget exists to protect. Bigger is better.
+///   perf.serve.p99_job_latency_ms — 99th-percentile submit-to-complete
+///       latency across the batch, the tail the priority classes and
+///       preemption shape. Smaller is better.
+///
+/// plus bookkeeping counters (jobs completed / preemptions / Riemann
+/// cache hit+miss) and, on obs builds, "serve."-prefixed phase roll-ups
+/// merged from the per-job scoped registries — min/mean/max/imbalance
+/// across *jobs* the same way "dist." rows roll up across ranks.
+std::vector<obs::report::PhaseStats> run_serve(bool quick) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 64;
+  cfg.zone_budget = 1LL << 22;
+  cfg.checkpoint_dir = "bench_results/serve_ckpt";
+  serve::SimulationService svc(cfg);
+
+  struct Mix {
+    const char* problem;
+    serve::PhysicsKind physics;
+    long long resolution;
+    int steps;
+    bool validate;
+  };
+  const long long n1 = quick ? 48 : 96;   // 1D shock tubes
+  const long long n2 = quick ? 12 : 24;   // 2D problems
+  const int s1 = quick ? 6 : 16;
+  const int s2 = quick ? 2 : 6;
+  const Mix mixes[] = {
+      {"sod", serve::PhysicsKind::kSrhd, n1, s1, true},
+      {"mm1", serve::PhysicsKind::kSrhd, n1, s1, true},
+      {"kh", serve::PhysicsKind::kSrhd, n2, s2, false},
+      {"balsara1", serve::PhysicsKind::kSrmhd, n1, s1 / 2, false},
+      {"mhd_blast", serve::PhysicsKind::kSrmhd, n2, s2, false},
+      {"field_loop", serve::PhysicsKind::kSrmhd, n2, s2, false},
+  };
+  constexpr int kJobs = 36;
+
+  serve::RiemannCache::global().clear();
+  WallTimer wall;
+  std::vector<serve::JobId> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    const Mix& m = mixes[static_cast<std::size_t>(i) % std::size(mixes)];
+    serve::JobSpec spec;
+    spec.name = std::string(m.problem) + "_" + std::to_string(i);
+    spec.problem = m.problem;
+    spec.physics = m.physics;
+    spec.resolution = m.resolution;
+    spec.steps = m.steps;
+    spec.validate = m.validate;
+    spec.priority = (i % 8 == 7)   ? serve::Priority::kHigh
+                    : (i % 3 == 0) ? serve::Priority::kBatch
+                                   : serve::Priority::kNormal;
+    const serve::Admission a = svc.submit(spec);
+    RSHC_REQUIRE(a.admitted, "serve bench job rejected: " + a.reason);
+    ids.push_back(a.id);
+  }
+  svc.wait_idle();
+  const double elapsed = wall.seconds();
+
+  std::vector<double> latencies;
+  std::int64_t completed = 0;
+  for (const serve::JobStatus& st : svc.statuses()) {
+    RSHC_REQUIRE(st.state == serve::JobState::kCompleted,
+                 "serve bench job did not complete: " + st.name + ": " +
+                     st.message);
+    if (st.latency_ms >= 0.0) latencies.push_back(st.latency_ms);
+    ++completed;
+  }
+  const serve::ServiceStats stats = svc.stats();
+  RSHC_REQUIRE(completed == kJobs && stats.completed == kJobs &&
+                   stats.queued == 0 && stats.running == 0,
+               "serve bench lost or duplicated jobs");
+
+  std::sort(latencies.begin(), latencies.end());
+  double p99 = 0.0;
+  if (!latencies.empty()) {
+    const auto idx = static_cast<std::size_t>(
+        std::max<double>(0.0, std::ceil(0.99 * static_cast<double>(
+                                            latencies.size())) -
+                                  1.0));
+    p99 = latencies[std::min(idx, latencies.size() - 1)];
+  }
+  RSHC_OBS_COUNT("perf.serve.jobs_per_hour",
+                 static_cast<std::int64_t>(
+                     static_cast<double>(completed) * 3600.0 /
+                     std::max(elapsed, 1e-9)));
+  RSHC_OBS_COUNT("perf.serve.p99_job_latency_ms",
+                 std::max<std::int64_t>(1, std::llround(p99)));
+  RSHC_OBS_COUNT("perf.serve.jobs_completed", completed);
+  RSHC_OBS_COUNT("perf.serve.preemptions", stats.preempted);
+  RSHC_OBS_COUNT("serve.riemann_cache.hits",
+                 serve::RiemannCache::global().hits());
+  RSHC_OBS_COUNT("serve.riemann_cache.misses",
+                 serve::RiemannCache::global().misses());
+
+#if RSHC_OBS_ENABLED
+  const std::vector<obs::Snapshot> snaps = svc.job_snapshots();
+  return obs::report::phases_from_ranks(
+      std::span<const obs::Snapshot>(snaps), "serve.");
+#else
+  return {};
+#endif
+}
+
 /// Steady-state solver throughput from the live-telemetry samples: the
 /// median positive heartbeat rate (robust against the warm-up ramp and
 /// the sampler catching an idle instant), falling back to the final
@@ -412,27 +537,39 @@ int main(int argc, char** argv) {
   obs::telemetry::Watchdog watchdog;  // options from RSHC_WATCHDOG*
   watchdog.start();
 
+  // RSHC_SERVE_ONLY trims the suite to the kernel reps plus the service
+  // workload — the shape the perf-smoke lane uses to emit the standalone
+  // BENCH_perf_service.json without re-timing the solver workloads.
+  const char* serve_env = std::getenv("RSHC_SERVE_ONLY");
+  const bool serve_only =
+      serve_env != nullptr && *serve_env != '\0' && serve_env[0] != '0';
+
   run_kernels(quick);
-  // Zone updates per KH step: interior zones x the 3 SSP-RK stages the
-  // solver runs per step (solver.phase.* counts in any report confirm the
-  // stage count: phase count / solver.steps).
-  run_f8_crossover(quick, /*kh_step_zones=*/3 * (quick ? 32LL * 32LL
-                                                       : 64LL * 64LL));
-  run_f6_overlap(quick);
-  // Primary solver run: the default batched pipeline, overridable via
-  // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd | device)
-  // so CI can emit one report per pipeline setting from the same binary —
-  // the device report (BENCH_perf_device.json) exercises the resident
-  // offload end-to-end, worker-thread kernel phases and transfer byte
-  // counters included.
-  solver::HostPipeline pipeline = solver::SrhdSolver::Options{}.pipeline;
-  const char* pipe_env = std::getenv("RSHC_HOST_PIPELINE");
-  if (pipe_env != nullptr && *pipe_env != '\0') {
-    pipeline = solver::parse_host_pipeline(pipe_env);
+  std::vector<obs::report::PhaseStats> pencil;
+  std::vector<obs::report::PhaseStats> dist;
+  if (!serve_only) {
+    // Zone updates per KH step: interior zones x the 3 SSP-RK stages the
+    // solver runs per step (solver.phase.* counts in any report confirm
+    // the stage count: phase count / solver.steps).
+    run_f8_crossover(quick, /*kh_step_zones=*/3 * (quick ? 32LL * 32LL
+                                                         : 64LL * 64LL));
+    run_f6_overlap(quick);
+    // Primary solver run: the default batched pipeline, overridable via
+    // RSHC_HOST_PIPELINE (pencil | batched-scalar | batched-simd |
+    // device) so CI can emit one report per pipeline setting from the
+    // same binary — the device report (BENCH_perf_device.json) exercises
+    // the resident offload end-to-end, worker-thread kernel phases and
+    // transfer byte counters included.
+    solver::HostPipeline pipeline = solver::SrhdSolver::Options{}.pipeline;
+    const char* pipe_env = std::getenv("RSHC_HOST_PIPELINE");
+    if (pipe_env != nullptr && *pipe_env != '\0') {
+      pipeline = solver::parse_host_pipeline(pipe_env);
+    }
+    run_solver(quick, pipeline);
+    pencil = run_solver_pencil(quick);
+    dist = run_distributed(quick);
   }
-  run_solver(quick, pipeline);
-  std::vector<obs::report::PhaseStats> pencil = run_solver_pencil(quick);
-  std::vector<obs::report::PhaseStats> dist = run_distributed(quick);
+  std::vector<obs::report::PhaseStats> serve_phases = run_serve(quick);
 
   // Freeze telemetry before the report snapshot so the steady-throughput
   // counter lands in this report's counter table.
@@ -456,6 +593,8 @@ int main(int argc, char** argv) {
   rep.phases = obs::report::phases_from_snapshot(snap);
   rep.phases.insert(rep.phases.end(), pencil.begin(), pencil.end());
   rep.phases.insert(rep.phases.end(), dist.begin(), dist.end());
+  rep.phases.insert(rep.phases.end(), serve_phases.begin(),
+                    serve_phases.end());
   rep.counters = obs::report::counters_from_snapshot(snap);
 
   const char* out_env = std::getenv("RSHC_PERF_OUT");

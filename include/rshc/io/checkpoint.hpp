@@ -18,7 +18,12 @@ void write_checkpoint(const std::string& path,
                       const solver::FvSolver<Physics>& s);
 
 /// Restore state into a solver constructed with the SAME grid, options and
-/// block layout; throws rshc::Error on any mismatch.
+/// block layout. The file is fully validated before any solver field is
+/// written — magic, version, header sanity, grid/physics/block-layout
+/// compatibility, and the exact payload size — so a truncated or
+/// mismatched-physics file throws rshc::Error (after a "checkpoint_error"
+/// journal event) and leaves the solver state untouched. A successful
+/// restore journals a "restore" event.
 template <typename Physics>
 void read_checkpoint(const std::string& path, solver::FvSolver<Physics>& s);
 

@@ -1,0 +1,61 @@
+#pragma once
+// Process-wide cache of exact Riemann reference solutions (DESIGN.md
+// system: simulation service). Validation-class jobs all score against the
+// Marti-Mueller exact solver; its construction (the p* root find) is the
+// expensive part and depends only on the initial-state tuple, so
+// concurrent jobs validating the same shock tube share one immutable
+// solution. Keys are the *bit patterns* of the seven defining doubles —
+// never the floating-point values themselves — so lookups cannot drift
+// with FMA/vectorization differences (see the float-keyed-map lint rule).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "rshc/analysis/exact_riemann.hpp"
+#include "rshc/common/mutex.hpp"
+
+namespace rshc::serve {
+
+class RiemannCache {
+ public:
+  using State = analysis::ExactRiemann::State;
+
+  /// Process-wide cache shared by every SimulationService (and test).
+  static RiemannCache& global();
+
+  RiemannCache() = default;
+  RiemannCache(const RiemannCache&) = delete;
+  RiemannCache& operator=(const RiemannCache&) = delete;
+
+  /// The exact solution for (left | right, gamma), constructing it on the
+  /// first request and returning the shared instance afterwards. Thread
+  /// safe; the returned solution is immutable and outlives the cache
+  /// entry it came from.
+  [[nodiscard]] std::shared_ptr<const analysis::ExactRiemann> lookup(
+      const State& left, const State& right, double gamma)
+      RSHC_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::int64_t hits() const noexcept;
+  [[nodiscard]] std::int64_t misses() const noexcept;
+  [[nodiscard]] std::size_t size() const RSHC_EXCLUDES(mutex_);
+  /// Drop all entries and zero the hit/miss counters (test hook).
+  void clear() RSHC_EXCLUDES(mutex_);
+
+ private:
+  /// Bit patterns of (rhoL, vL, pL, rhoR, vR, pR, gamma).
+  using Key = std::array<std::uint64_t, 7>;
+
+  mutable Mutex mutex_;
+  std::map<Key, std::shared_ptr<const analysis::ExactRiemann>> cache_
+      RSHC_GUARDED_BY(mutex_);
+  // relaxed: hit/miss tallies for reports and tests; readers only need
+  // eventual visibility.
+  std::atomic<std::int64_t> hits_{0};
+  // relaxed: same contract as hits_.
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace rshc::serve

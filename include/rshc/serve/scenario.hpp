@@ -1,0 +1,59 @@
+#pragma once
+// Scenario catalog + engine for the simulation service (DESIGN.md system:
+// simulation service). A ScenarioEngine wraps one FvSolver instantiation
+// behind a physics-erased interface so SimulationService can drive SRHD
+// and SRMHD jobs through one code path: initialize or warm-restore, step,
+// checkpoint, and (for validation-class jobs) score against the shared
+// exact-Riemann reference cache.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rshc/serve/job.hpp"
+#include "rshc/serve/riemann_cache.hpp"
+
+namespace rshc::serve {
+
+/// Physics-erased handle on one running scenario. Not thread safe; a job's
+/// engine is only ever touched by the worker currently running that job.
+class ScenarioEngine {
+ public:
+  virtual ~ScenarioEngine() = default;
+
+  /// Set the problem's initial data (cold start).
+  virtual void initialize() = 0;
+  /// Warm start: restore solver state from a checkpoint written by
+  /// checkpoint() on an engine built from the same JobSpec. Throws
+  /// rshc::Error on malformed or mismatched files (io::read_checkpoint).
+  virtual void restore(const std::string& path) = 0;
+  /// Persist the current state (preemption eviction / result artifact).
+  /// Non-const: a device-resident solver syncs its host mirror first.
+  virtual void checkpoint(const std::string& path) = 0;
+  /// One adaptive-dt step. Deterministic given the current state, so a
+  /// restore + step sequence is bitwise identical to never stopping.
+  virtual void step() = 0;
+  [[nodiscard]] virtual double time() const = 0;
+  /// L1 density error against the exact Riemann solution from `cache`;
+  /// -1 when the scenario has no exact reference (see
+  /// validation_supported).
+  [[nodiscard]] virtual double validation_error(RiemannCache& cache) = 0;
+};
+
+/// True when `problem` names a catalog entry for `physics`.
+[[nodiscard]] bool known_problem(PhysicsKind physics, std::string_view problem);
+/// Catalog dimensionality (1 or 2); 0 for unknown problems.
+[[nodiscard]] int problem_ndim(PhysicsKind physics, std::string_view problem);
+/// Interior zone count a spec admits against the service zone budget
+/// (resolution^ndim); 0 for unknown problems.
+[[nodiscard]] long long spec_zones(const JobSpec& spec);
+/// True when spec.validate can be honored: SRHD shock tubes with an exact
+/// Marti-Mueller reference ("sod", "mm1", "mm2").
+[[nodiscard]] bool validation_supported(const JobSpec& spec);
+
+/// Build the engine for a spec. Throws rshc::Error for unknown problems
+/// (the service rejects those at admission, so a throw here indicates a
+/// caller bypassing admission control).
+[[nodiscard]] std::unique_ptr<ScenarioEngine> make_engine(const JobSpec& spec);
+
+}  // namespace rshc::serve

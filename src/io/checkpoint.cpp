@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <string>
 
+#include "rshc/common/error.hpp"
 #include "rshc/obs/journal.hpp"
 
 namespace rshc::io {
@@ -29,6 +31,18 @@ void write_raw(std::ofstream& f, const T& v) {
 template <typename T>
 void read_raw(std::ifstream& f, T& v) {
   f.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+/// Journal and throw a restore failure. Every validation below funnels
+/// through here so a malformed file leaves (a) one "checkpoint_error"
+/// journal line and (b) an rshc::Error naming the path and rule — and,
+/// because all checks run before any solver field is written, the caller's
+/// solver state is untouched.
+[[noreturn]] void fail_read(const std::string& path, const std::string& why) {
+  obs::journal::Journal::global().event(
+      "checkpoint_error",
+      {obs::journal::Field("path", path), obs::journal::Field("error", why)});
+  throw rshc::Error("checkpoint " + path + ": " + why, __FILE__, __LINE__);
 }
 
 }  // namespace
@@ -67,21 +81,65 @@ void write_checkpoint(const std::string& path,
 template <typename Physics>
 void read_checkpoint(const std::string& path,
                      solver::FvSolver<Physics>& s) {
-  std::ifstream f(path, std::ios::binary);
-  RSHC_REQUIRE(f.good(), "cannot open checkpoint for reading: " + path);
+  // Validate everything — header sanity, compatibility with the target
+  // solver, and the exact payload size — before writing a single byte of
+  // solver state. Preempt/resume makes truncated files a real scenario
+  // (a preemption checkpoint raced by a crash), and a partial restore
+  // would silently corrupt the resumed run.
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f.good()) fail_read(path, "cannot open for reading");
+  const auto file_size = static_cast<std::int64_t>(f.tellg());
+  f.seekg(0);
+  if (file_size < static_cast<std::int64_t>(sizeof(Header))) {
+    fail_read(path, "truncated header (" + std::to_string(file_size) +
+                        " bytes, need " + std::to_string(sizeof(Header)) +
+                        ")");
+  }
   Header h;
   read_raw(f, h);
-  RSHC_REQUIRE(f.good() && h.magic == kCheckpointMagic,
-               "not an rshc checkpoint: " + path);
-  RSHC_REQUIRE(h.version == kCheckpointVersion,
-               "unsupported checkpoint version");
-  RSHC_REQUIRE(h.ndim == s.grid().ndim() && h.nx == s.grid().extent(0) &&
-                   h.ny == s.grid().extent(1) && h.nz == s.grid().extent(2),
-               "checkpoint grid shape mismatch");
-  RSHC_REQUIRE(h.nvar_cons == Physics::kNumCons,
-               "checkpoint physics mismatch");
-  RSHC_REQUIRE(h.num_blocks == s.num_blocks(),
-               "checkpoint block layout mismatch");
+  if (!f.good() || h.magic != kCheckpointMagic) {
+    fail_read(path, "bad magic (not an rshc checkpoint)");
+  }
+  if (h.version != kCheckpointVersion) {
+    fail_read(path, "unsupported version " + std::to_string(h.version) +
+                        " (expected " + std::to_string(kCheckpointVersion) +
+                        ")");
+  }
+  if (h.ndim < 1 || h.ndim > 3 || h.nvar_cons <= 0 || h.num_blocks <= 0 ||
+      h.nx <= 0 || h.ny <= 0 || h.nz <= 0) {
+    fail_read(path, "corrupt header (implausible shape fields)");
+  }
+  if (h.ndim != s.grid().ndim() || h.nx != s.grid().extent(0) ||
+      h.ny != s.grid().extent(1) || h.nz != s.grid().extent(2)) {
+    fail_read(path, "grid shape mismatch");
+  }
+  if (h.nvar_cons != Physics::kNumCons) {
+    fail_read(path, "physics mismatch (file has " +
+                        std::to_string(h.nvar_cons) +
+                        " conserved variables, solver expects " +
+                        std::to_string(Physics::kNumCons) + ")");
+  }
+  if (h.num_blocks != s.num_blocks()) {
+    fail_read(path, "block layout mismatch");
+  }
+  std::int64_t payload = 0;
+  for (int b = 0; b < s.num_blocks(); ++b) {
+    const auto& blk = s.block(b);
+    std::int64_t zones = 1;
+    for (int a = 0; a < 3; ++a) zones *= blk.end(a) - blk.begin(a);
+    payload += zones * Physics::kNumCons *
+               static_cast<std::int64_t>(sizeof(double));
+  }
+  const std::int64_t expected =
+      static_cast<std::int64_t>(sizeof(Header)) + payload;
+  if (file_size < expected) {
+    fail_read(path, "truncated payload (" + std::to_string(file_size) +
+                        " bytes, need " + std::to_string(expected) + ")");
+  }
+  if (file_size > expected) {
+    fail_read(path, "size mismatch (" + std::to_string(file_size) +
+                        " bytes, expected " + std::to_string(expected) + ")");
+  }
   for (int b = 0; b < s.num_blocks(); ++b) {
     auto& blk = s.block(b);
     auto& u = blk.cons();
@@ -95,9 +153,12 @@ void read_checkpoint(const std::string& path,
       }
     }
   }
-  RSHC_REQUIRE(f.good(), "checkpoint truncated: " + path);
+  if (!f.good()) fail_read(path, "read failed mid-payload");
   s.set_time(h.time);
   s.recover_all_prims();
+  obs::journal::Journal::global().event(
+      "restore", {obs::journal::Field("path", path),
+                  obs::journal::Field("time", h.time)});
 }
 
 template void write_checkpoint<solver::SrhdPhysics>(

@@ -97,8 +97,8 @@ void publish_heartbeat(std::int64_t step, double t, double dt,
   // noexcept: first-use metric registration can allocate; dropping one
   // heartbeat beats terminating the solver step that published it.
   try {
-    Registry* reg = Registry::scoped();
-    if (reg == nullptr) reg = &Registry::global();
+    Registry* scoped = Registry::scoped();
+    Registry* reg = scoped != nullptr ? scoped : &Registry::global();
     Heartbeat hb;
     hb.step = step;
     hb.t = t;
@@ -121,12 +121,21 @@ void publish_heartbeat(std::int64_t step, double t, double dt,
     reg->gauge("solver.hb.halo_bytes").set(hb.halo_bytes);
     reg->gauge("solver.hb.h2d_bytes").set(hb.h2d_bytes);
     reg->gauge("solver.hb.d2h_bytes").set(hb.d2h_bytes);
-    {
-      HbState& s = hb_state();
-      LockGuard lock(s.mutex);
-      s.hb = hb;
+    // The process-wide heartbeat view and the watchdog progress ticker
+    // belong to unscoped (whole-process) solvers only. A thread under a
+    // ScopedRegistry is one job of a multi-job process (simulation
+    // service): letting it tick the global watchdog would mask another
+    // job's stall, and letting it overwrite last_heartbeat() would smear
+    // unrelated jobs' progress into one bogus stream. Per-job stall
+    // detection for scoped jobs lives in serve::SimulationService.
+    if (scoped == nullptr) {
+      {
+        HbState& s = hb_state();
+        LockGuard lock(s.mutex);
+        s.hb = hb;
+      }
+      g_hb_ticks.fetch_add(1, std::memory_order_relaxed);
     }
-    g_hb_ticks.fetch_add(1, std::memory_order_relaxed);
   } catch (...) {
   }
 }

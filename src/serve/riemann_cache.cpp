@@ -1,0 +1,59 @@
+#include "rshc/serve/riemann_cache.hpp"
+
+#include <bit>
+
+namespace rshc::serve {
+
+RiemannCache& RiemannCache::global() {
+  static RiemannCache cache;
+  return cache;
+}
+
+std::shared_ptr<const analysis::ExactRiemann> RiemannCache::lookup(
+    const State& left, const State& right, double gamma) {
+  const Key key = {
+      std::bit_cast<std::uint64_t>(left.rho),
+      std::bit_cast<std::uint64_t>(left.v),
+      std::bit_cast<std::uint64_t>(left.p),
+      std::bit_cast<std::uint64_t>(right.rho),
+      std::bit_cast<std::uint64_t>(right.v),
+      std::bit_cast<std::uint64_t>(right.p),
+      std::bit_cast<std::uint64_t>(gamma),
+  };
+  // The p* root find runs under the lock on a miss. That serializes the
+  // first validation job per tuple, but guarantees every later job shares
+  // the one instance instead of racing to construct duplicates.
+  LockGuard lock(mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto solution =
+      std::make_shared<const analysis::ExactRiemann>(left, right, gamma);
+  cache_.emplace(key, solution);
+  return solution;
+}
+
+std::int64_t RiemannCache::hits() const noexcept {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::int64_t RiemannCache::misses() const noexcept {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+std::size_t RiemannCache::size() const {
+  LockGuard lock(mutex_);
+  return cache_.size();
+}
+
+void RiemannCache::clear() {
+  LockGuard lock(mutex_);
+  cache_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rshc::serve

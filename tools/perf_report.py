@@ -23,7 +23,11 @@ compare [BASELINE] CURRENT [--threshold F] [--min-sum S]
     first-class rows alongside the phases: the crossover batch sliding up
     by more than one sweep step (x4), or leaving the swept range entirely
     (value 0), is a performance regression; a counter that disappears is
-    structural.
+    structural. The simulation-service counters get the same treatment:
+    perf.serve.jobs_per_hour is bigger-is-better (gates when the current
+    value drops below baseline / (1 + threshold)) and
+    perf.serve.p99_job_latency_ms is smaller-is-better (gates when the
+    tail latency grows past baseline * (1 + threshold)).
 show REPORT
     Human-readable table of the phases and counters.
 timeline TELEMETRY_JSONL [--journal J] [--validate] [--selftest]
@@ -291,6 +295,54 @@ def compare_overlap_efficiency(base: dict, cur: dict,
     return perf, structural
 
 
+# Simulation-service gate counters (bench/perf_suite.cpp run_serve): the
+# saturating mixed workload's throughput and tail latency. Throughput is
+# bigger-is-better like the steady counter; the p99 latency is the one
+# smaller-is-better gate in the report, so its check is inverted
+# (current > baseline * (1 + threshold) fails).
+_SERVE_JOBS_COUNTER = "perf.serve.jobs_per_hour"
+_SERVE_P99_COUNTER = "perf.serve.p99_job_latency_ms"
+
+
+def compare_serve(base: dict, cur: dict,
+                  threshold: float) -> tuple[list[str], list[str]]:
+    """First-class rows for the simulation-service gate counters."""
+    base_ctr, cur_ctr = counter_map(base), counter_map(cur)
+    perf: list[str] = []
+    structural: list[str] = []
+    for name, bigger_is_better in ((_SERVE_JOBS_COUNTER, True),
+                                   (_SERVE_P99_COUNTER, False)):
+        b, c = base_ctr.get(name), cur_ctr.get(name)
+        if b is None and c is None:
+            continue
+        if b is None:
+            print(f"perf_report: note: new counter '{name}' = {c:.0f} "
+                  f"(not in baseline)")
+            continue
+        if c is None:
+            structural.append(f"counter '{name}' present in baseline but "
+                              f"missing from current report")
+            continue
+        if b <= 0.0:
+            print(f"  [ ] {name}: baseline measured nothing; nothing to "
+                  f"gate")
+            continue
+        ratio = c / b
+        if bigger_is_better:
+            bad = c < b / (1.0 + threshold)
+            unit = "jobs/h"
+        else:
+            bad = c > b * (1.0 + threshold)
+            unit = "ms"
+        print(f"  [{'!' if bad else ' '}] {name}: {b:.0f} -> {c:.0f} "
+              f"{unit} ({ratio - 1.0:+.1%} vs baseline)")
+        if bad:
+            direction = "dropped" if bigger_is_better else "grew"
+            perf.append(f"{name} {direction} to {ratio:.2f}x the baseline "
+                        f"(threshold {threshold:.0%})")
+    return perf, structural
+
+
 def mean_per_sample(ph: dict) -> float:
     return ph["sum_s"] / ph["count"] if ph["count"] else 0.0
 
@@ -352,14 +404,17 @@ def compare_reports(base: dict, cur: dict, threshold: float,
         base, cur, threshold)
     overlap_perf, overlap_structural = compare_overlap_efficiency(
         base, cur, threshold)
-    if crossover_structural or steady_structural or overlap_structural:
+    serve_perf, serve_structural = compare_serve(base, cur, threshold)
+    if (crossover_structural or steady_structural or overlap_structural
+            or serve_structural):
         for msg in (crossover_structural + steady_structural
-                    + overlap_structural):
+                    + overlap_structural + serve_structural):
             print(f"perf_report: STRUCTURAL: {msg}", file=sys.stderr)
         return EXIT_STRUCTURAL
     regressions.extend(crossover_perf)
     regressions.extend(steady_perf)
     regressions.extend(overlap_perf)
+    regressions.extend(serve_perf)
 
     if regressions:
         for msg in regressions:
@@ -731,6 +786,44 @@ def cmd_selftest(args: argparse.Namespace) -> int:
                   f"counter returned {rc}, expected {EXIT_STRUCTURAL}",
                   file=sys.stderr)
             return EXIT_STRUCTURAL
+
+    # Simulation-service gates, exercised when the report carries the
+    # counters: halving the throughput and 10x-ing the p99 tail must each
+    # trip the perf gate (the p99 check proves the smaller-is-better
+    # direction is honored), and dropping either counter is structural.
+    serve_jobs = counter_map(rep).get(_SERVE_JOBS_COUNTER, 0)
+    serve_p99 = counter_map(rep).get(_SERVE_P99_COUNTER, 0)
+    if serve_jobs <= 0 or serve_p99 <= 0:
+        print("perf_report: selftest: no simulation-service counters; "
+              "skipping their gate checks")
+    else:
+        def with_counter(name: str, value: float) -> dict:
+            mutated = copy.deepcopy(rep)
+            for c in mutated["counters"]:
+                if c["name"] == name:
+                    c["value"] = value
+            return mutated
+
+        def without_counter(name: str) -> dict:
+            mutated = copy.deepcopy(rep)
+            mutated["counters"] = [c for c in mutated["counters"]
+                                   if c["name"] != name]
+            return mutated
+
+        cases = ((with_counter(_SERVE_JOBS_COUNTER, serve_jobs / 2.0),
+                  EXIT_PERF, "halved serve throughput"),
+                 (with_counter(_SERVE_P99_COUNTER, serve_p99 * 10.0),
+                  EXIT_PERF, "10x serve p99 latency"),
+                 (without_counter(_SERVE_JOBS_COUNTER), EXIT_STRUCTURAL,
+                  "dropped serve throughput counter"),
+                 (without_counter(_SERVE_P99_COUNTER), EXIT_STRUCTURAL,
+                  "dropped serve p99 counter"))
+        for mutated, expected, what in cases:
+            rc = compare_reports(rep, mutated, 0.30, 1e-4)
+            if rc != expected:
+                print(f"perf_report: selftest: {what} returned {rc}, "
+                      f"expected {expected}", file=sys.stderr)
+                return EXIT_STRUCTURAL
 
     print(f"perf_report: selftest OK ({args.report})")
     return EXIT_OK
